@@ -1,0 +1,43 @@
+"""Ablation (extension): one-at-a-time optimization knockouts on
+
+kron_g500-logn21, plus the two beyond-paper extensions (gather fusion
+keeping the update array on-device, and greedy shard caching).
+"""
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runners import ablation_optimizations
+
+
+def test_ablation_optimizations(once):
+    data = once(ablation_optimizations)
+    rows = []
+    for alg, variants in data.items():
+        for label, cell in variants.items():
+            rows.append(
+                [
+                    alg,
+                    label,
+                    cell["total_s"],
+                    cell["memcpy_s"],
+                    f"{cell['h2d_bytes'] / 2**20:.1f}MB",
+                    int(cell["kernel_launches"]),
+                ]
+            )
+    text = format_table(
+        "Ablation: GR optimization knockouts on kron_g500-logn21",
+        ["algorithm", "variant", "total (s)", "memcpy (s)", "H2D", "kernels"],
+        rows,
+    )
+    emit("ablation_optimizations", text, data)
+
+    for alg, variants in data.items():
+        opt = variants["optimized"]["total_s"]
+        # Every knockout hurts (or at worst matches).
+        assert variants["unoptimized"]["total_s"] > opt
+        assert variants["no_fusion_elimination"]["total_s"] >= opt - 1e-9
+        assert variants["no_async_spray"]["total_s"] >= opt - 1e-9
+        # The extensions help (or at worst match).
+        assert variants["greedy_cache_extension"]["total_s"] <= opt + 1e-9
+    # Gather fusion only matters for gather algorithms.
+    pr = data["Pagerank"]
+    assert pr["fuse_gather_extension"]["memcpy_s"] < pr["optimized"]["memcpy_s"]

@@ -1,0 +1,32 @@
+"""Figure 16: frontier dynamics on the large out-of-memory graphs for
+
+BFS, PageRank and CC: BFS rises from 1 and falls; PR/CC start at |V| and
+decay, at input-dependent rates (nlpkkt160 collapses fastest).
+"""
+
+from repro.bench.reporting import emit, format_series
+from repro.bench.runners import fig16_frontier_large
+
+
+def test_fig16_frontier_large_graphs(once):
+    data = once(fig16_frontier_large)
+    series = {
+        f"{name}-{alg}": hist
+        for name, per in data.items()
+        for alg, hist in per.items()
+    }
+    text = format_series("Figure 16: frontier sizes, large graphs", series)
+    emit("fig16_frontier_large", text, data)
+
+    for name, per in data.items():
+        bfs, pr, cc = per["BFS"], per["Pagerank"], per["CC"]
+        assert bfs[0] == 1 and max(bfs) > 1  # climbs from a single vertex
+        assert pr[0] == max(pr)  # starts with all vertices
+        assert cc[0] == max(cc)
+    # Input dependence: nlpkkt's PageRank frontier decays much faster
+    # than cage15's (the paper's key insight from this figure).
+    def tail_mass(hist):
+        peak = max(hist)
+        return sum(hist) / (peak * len(hist))
+
+    assert tail_mass(data["nlpkkt160"]["Pagerank"]) < tail_mass(data["cage15"]["Pagerank"])

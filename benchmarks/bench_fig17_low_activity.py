@@ -1,0 +1,46 @@
+"""Figure 17: percentage of iterations below 50% of the maximum lifetime
+
+frontier size. BFS shows the highest low-activity percentage everywhere;
+graphs with more low-activity iterations gain the most from dynamic
+frontier management (cross-checked against Figure 15's improvements).
+"""
+
+import numpy as np
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runners import FIG16_ALGS, fig15_memcpy, fig17_low_activity
+
+
+def test_fig17_low_activity(once):
+    data = once(fig17_low_activity)
+    rows = [
+        [name] + [f"{per[alg]:.1f}%" for alg in FIG16_ALGS]
+        for name, per in data.items()
+    ]
+    text = format_table(
+        "Figure 17: % iterations below 50% of max frontier",
+        ["graph"] + list(FIG16_ALGS),
+        rows,
+    )
+    emit("fig17_low_activity", text, data)
+
+    # BFS has the most low-activity iterations on most graphs and on
+    # average (cage15's banded structure gives BFS a constant-width
+    # wavefront, the one counterexample).
+    wins = sum(1 for per in data.values() if per["BFS"] >= max(per.values()) - 1e-9)
+    assert wins >= len(data) - 1
+    import numpy as _np
+
+    means = {alg: _np.mean([per[alg] for per in data.values()]) for alg in FIG16_ALGS}
+    assert means["BFS"] >= max(means.values()) - 1e-9
+
+    # Correlation with Figure 15: more low-activity iterations -> larger
+    # memcpy reduction from frontier management (PR/CC columns).
+    f15 = fig15_memcpy()
+    xs, ys = [], []
+    for name, per in data.items():
+        for alg in ("Pagerank", "CC"):
+            xs.append(per[alg])
+            ys.append(f15["cells"][name][alg]["improvement_pct"])
+    corr = float(np.corrcoef(xs, ys)[0, 1])
+    assert corr > 0, f"expected positive correlation, got {corr:.2f}"

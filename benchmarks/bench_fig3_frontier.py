@@ -1,0 +1,40 @@
+"""Figure 3: frontier size vs iteration for four (graph, algorithm)
+
+cases, showcasing the irregularity that motivates frontier management:
+PageRank/CC start with every vertex active and decay; BFS starts at one
+vertex, peaks, and falls.
+"""
+
+from repro.bench.reporting import emit, format_series
+from repro.bench.runners import fig3_frontier
+
+
+def test_fig3_frontier_dynamics(once):
+    series = once(fig3_frontier)
+    text = format_series("Figure 3: frontier size across iterations", series)
+    emit("fig3_frontier", text, series)
+
+    pr_cage = series["cage15-Pagerank"]
+    pr_nlp = series["nlpkkt160-Pagerank"]
+    bfs_cage = series["cage15-BFS"]
+    cc_orkut = series["orkut-CC"]
+
+    # (a)/(b): PageRank starts with the full vertex set and decays.
+    assert pr_cage[0] == max(pr_cage)
+    assert pr_nlp[0] == max(pr_nlp)
+    # (b): nlpkkt's frontier collapses well before the run ends (the
+    # paper's "drops sharply ... and remains low").
+    t = 3 * len(pr_nlp) // 4
+    assert pr_nlp[t] < 0.5 * pr_nlp[0]
+    # cage15's PageRank stays high much longer than nlpkkt's -- the
+    # input dependence the figure demonstrates.
+    q = max(len(pr_nlp) // 4, 1)
+    qc = max(len(pr_cage) // 4, 1)
+    assert pr_cage[qc] / pr_cage[0] > pr_nlp[q] / pr_nlp[0]
+    # (c): BFS starts at exactly one active vertex, rises, then falls.
+    assert bfs_cage[0] == 1
+    assert max(bfs_cage) > 100
+    assert bfs_cage[-1] == 0
+    # (d): CC starts full and monotone-ish decays to empty.
+    assert cc_orkut[0] == max(cc_orkut)
+    assert cc_orkut[-1] == 0

@@ -1,0 +1,30 @@
+"""Figure 4: the three CUDA data-exchange mechanisms, 100M doubles.
+
+Shape: Pinned/UVA wins for sequential access (MLP + prefetch over PCIe);
+explicit transfer wins for random access (data lands in fast memory);
+pinned is catastrophic for random access -- the Section-3.2 rationale
+for GraphReduce's explicit-transfer design.
+"""
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runners import fig4_transfer
+
+
+def test_fig4_transfer_mechanisms(once):
+    data = once(fig4_transfer)
+    rows = []
+    for pattern, mechs in data.items():
+        for mech, cell in mechs.items():
+            rows.append([pattern, mech, cell["seconds"], f"{cell['gbps']:.2f} GB/s"])
+    text = format_table(
+        "Figure 4: transferring 100,000,000 doubles",
+        ["access pattern", "mechanism", "seconds", "effective throughput"],
+        rows,
+    )
+    emit("fig4_transfer", text, data)
+
+    seq = {m: c["seconds"] for m, c in data["sequential"].items()}
+    rnd = {m: c["seconds"] for m, c in data["random"].items()}
+    assert seq["pinned"] < seq["explicit"] < seq["managed"]
+    assert rnd["explicit"] < rnd["managed"] < rnd["pinned"]
+    assert rnd["pinned"] > 5 * rnd["explicit"]

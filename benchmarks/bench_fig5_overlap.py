@@ -1,0 +1,39 @@
+"""Figure 5: compute-transfer and compute-compute overlap on an
+
+out-of-core striped matrix multiplication (stripe = 50 rows).
+"""
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runners import fig5_overlap
+
+
+def test_fig5_overlap_schemes(once):
+    data = once(fig5_overlap)
+    sizes = data["sizes"]
+    rows = []
+    for n in sizes:
+        rows.append(
+            [
+                n,
+                data["times"]["unoptimized"][n] * 1e3,
+                data["times"]["compute_transfer"][n] * 1e3,
+                f"{data['speedups']['compute_transfer'][n]:.2f}x",
+                data["times"]["compute_compute"][n] * 1e3,
+                f"{data['speedups']['compute_compute'][n]:.2f}x",
+            ]
+        )
+    text = format_table(
+        "Figure 5: out-of-core matmul, stripe=50 (times in ms)",
+        ["N", "unoptimized", "compute-transfer", "speedup", "+compute-compute", "speedup"],
+        rows,
+    )
+    emit("fig5_overlap", text, data)
+
+    for n in sizes:
+        ct = data["speedups"]["compute_transfer"][n]
+        cc = data["speedups"]["compute_compute"][n]
+        assert ct > 1.0  # overlap always helps
+        assert cc >= ct - 1e-9  # compute-compute adds on top
+    # Small stripes underfill the machine, so compute-compute's gain is
+    # largest at small N.
+    assert data["speedups"]["compute_compute"][sizes[0]] > data["speedups"]["compute_compute"][sizes[-1]]

@@ -1,0 +1,40 @@
+"""Table 1: the dataset inventory and in-/out-of-memory classification."""
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runners import table1_datasets
+from repro.sim.specs import DeviceSpec, SCALE
+
+
+def test_table1_datasets(once):
+    rows = once(table1_datasets)
+    device = DeviceSpec()
+    table_rows = [
+        [
+            r["graph"],
+            r["vertices"],
+            r["edges"],
+            f"{r['in_memory_size_mb']:.1f}MB",
+            "in-memory" if r["classified_in_memory"] else "out-of-memory",
+            f"{r['paper_vertices']:,}",
+            f"{r['paper_edges']:,}",
+            r["paper_size"],
+            f"1/{r['scale']}",
+        ]
+        for r in rows
+    ]
+    text = format_table(
+        "Table 1: datasets (stand-ins vs paper)",
+        ["graph", "V", "E", "size", "class", "paper V", "paper E", "paper size", "scale"],
+        table_rows,
+        note=(
+            f"Simulated device memory: {device.memory_bytes / 2**20:.1f} MiB "
+            f"(K20c 4.8 GB / {SCALE}, byte-density corrected). Every stand-in "
+            "must classify as in Table 1."
+        ),
+    )
+    emit("table1_datasets", text, rows)
+    # The reproduction's classification must match the paper's.
+    from repro.graph.datasets import DATASETS
+
+    for r in rows:
+        assert r["classified_in_memory"] == DATASETS[r["graph"]].in_memory, r["graph"]

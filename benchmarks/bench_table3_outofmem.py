@@ -1,0 +1,45 @@
+"""Table 3: out-of-memory execution times -- GraphChi, X-Stream, GR.
+
+Shape targets: GR wins nearly every cell; its advantage is largest on
+traversal algorithms (BFS/SSSP) over skewed graphs and smallest on
+PageRank; X-Stream beats GraphChi throughout.
+"""
+
+from repro.bench.paper_values import TABLE3
+from repro.bench.reporting import emit, format_table
+from repro.bench.runners import ALGORITHMS, table3_out_of_memory
+
+
+def test_table3_out_of_memory(once):
+    data = once(table3_out_of_memory)
+    rows = []
+    for name, cols in data.items():
+        for fw in ("GraphChi", "X-Stream", "GR"):
+            rows.append(
+                [name, fw]
+                + [cols[fw][alg] for alg in ALGORITHMS]
+                + [TABLE3[name][fw][alg] for alg in ALGORITHMS]
+            )
+    text = format_table(
+        "Table 3: out-of-memory frameworks (simulated seconds | paper seconds)",
+        ["graph", "framework"] + [f"{a}" for a in ALGORITHMS] + [f"paper {a}" for a in ALGORITHMS],
+        rows,
+        note="Simulated times are at 1/64 dataset scale; compare ratios, not magnitudes.",
+    )
+    emit("table3_outofmem", text, data)
+
+    for name, cols in data.items():
+        for alg in ALGORITHMS:
+            # X-Stream beats GraphChi everywhere in Table 3.
+            assert cols["X-Stream"][alg] < cols["GraphChi"][alg], (name, alg)
+        # GR wins BFS and SSSP on every out-of-memory graph.
+        assert cols["GR"]["BFS"] < cols["X-Stream"]["BFS"], name
+        assert cols["GR"]["SSSP"] < cols["X-Stream"]["SSSP"], name
+    # Traversal speedups exceed PageRank speedups on the skewed graphs
+    # (on cage15's constant BFS wavefront the effect inverts; the
+    # paper's cage15 BFS/PR gap is also its smallest).
+    for name in ("kron_g500-logn21", "orkut", "uk-2002"):
+        cols = data[name]
+        bfs_speedup = cols["X-Stream"]["BFS"] / cols["GR"]["BFS"]
+        pr_speedup = cols["X-Stream"]["Pagerank"] / cols["GR"]["Pagerank"]
+        assert bfs_speedup > pr_speedup, name

@@ -1,0 +1,41 @@
+"""Table 4: in-memory (small graph) performance -- MapGraph, CuSha, GR.
+
+Shape targets: GR is comparable to the tuned in-GPU-memory frameworks;
+MapGraph beats CuSha on the high-diameter road BFS; CuSha beats MapGraph
+on kron PageRank; GR sits between or ahead.
+"""
+
+from repro.bench.paper_values import TABLE4
+from repro.bench.reporting import emit, format_table
+from repro.bench.runners import ALGORITHMS, table4_in_memory
+
+
+def test_table4_in_memory(once):
+    data = once(table4_in_memory)
+    rows = []
+    for name, cols in data.items():
+        for fw in ("MapGraph", "CuSha", "GR"):
+            rows.append(
+                [name, fw]
+                + [cols[fw][alg] for alg in ALGORITHMS]
+                + [TABLE4[name][fw][alg] for alg in ALGORITHMS]
+            )
+    text = format_table(
+        "Table 4: in-memory frameworks (simulated ms | paper ms)",
+        ["graph", "framework"] + list(ALGORITHMS) + [f"paper {a}" for a in ALGORITHMS],
+        rows,
+        note="MG = MapGraph. Compare ratios: datasets are scaled per DESIGN.md.",
+    )
+    emit("table4_inmem", text, data)
+
+    # GR runs its in-memory mode on every Table-4 graph: within ~4x of
+    # the best tuned framework on every cell (the paper's "comparable").
+    for name, cols in data.items():
+        for alg in ALGORITHMS:
+            best = min(cols["MapGraph"][alg], cols["CuSha"][alg])
+            assert cols["GR"][alg] < 4 * best, (name, alg, cols)
+    # Framework-specific strengths (Table 4's interesting cells):
+    road = data["belgium_osm"]
+    assert road["MapGraph"]["BFS"] < road["CuSha"]["BFS"]
+    kron = data["kron_g500-logn20"]
+    assert kron["CuSha"]["Pagerank"] < kron["MapGraph"]["Pagerank"]

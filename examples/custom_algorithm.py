@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Writing a custom algorithm against the GAS API (Section 4.1).
+
+Implements *widest path* (maximum-bottleneck-bandwidth routing): the
+value of a vertex is the largest bandwidth achievable from the source,
+where a path's bandwidth is its narrowest edge. This needs exactly the
+four ingredients the paper's user interface asks for:
+
+  gather_map   : candidate bandwidth = min(src value, edge capacity)
+  gather_reduce: np.maximum   (the paper's |+| combiner as a ufunc)
+  apply        : keep improvements, report the changed mask
+  scatter      : not needed -> the Phase Fusion Engine elides it
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import numpy as np
+
+from repro.core import GraphReduce
+from repro.core.api import GASProgram
+from repro.graph.generators import erdos_renyi
+
+
+class WidestPath(GASProgram):
+    """Maximum bottleneck bandwidth from a source vertex."""
+
+    name = "widest-path"
+    gather_reduce = np.maximum
+    gather_identity = 0.0
+    needs_weights = True  # edge weight = link capacity
+
+    def __init__(self, source: int = 0):
+        self.source = source
+
+    def init_vertices(self, ctx):
+        vals = np.zeros(ctx.num_vertices, dtype=self.vertex_dtype)
+        vals[self.source] = np.inf  # infinite bandwidth to itself
+        return vals
+
+    def init_frontier(self, ctx):
+        frontier = np.zeros(ctx.num_vertices, dtype=bool)
+        frontier[self.source] = True
+        return frontier
+
+    def gather_map(self, ctx, src_ids, dst_ids, src_vals, weights, edge_states):
+        return np.minimum(src_vals, weights)
+
+    def apply(self, ctx, vids, old_vals, gathered, has_gather, iteration):
+        candidate = np.where(has_gather, gathered, 0.0).astype(old_vals.dtype)
+        improved = candidate > old_vals
+        new_vals = np.where(improved, candidate, old_vals)
+        changed = improved | ((vids == self.source) & (iteration == 0))
+        return new_vals, changed
+
+
+def reference_widest_path(graph, source):
+    """O(V^2) Dijkstra-style reference for validation."""
+    n = graph.num_vertices
+    width = np.zeros(n)
+    width[source] = np.inf
+    done = np.zeros(n, dtype=bool)
+    adj = [[] for _ in range(n)]
+    for s, d, w in zip(graph.src, graph.dst, graph.weights):
+        adj[s].append((int(d), float(w)))
+    for _ in range(n):
+        u = int(np.argmax(np.where(done, -1.0, width)))
+        if width[u] <= 0 or done[u]:
+            break
+        done[u] = True
+        for v, w in adj[u]:
+            width[v] = max(width[v], min(width[u], w))
+    return width
+
+
+def main() -> None:
+    graph = erdos_renyi(2_000, 16_000, seed=11).with_random_weights(
+        low=1.0, high=100.0, seed=12
+    )
+    print(f"input: {graph} (edge weights = link capacities in [1, 100))")
+
+    result = GraphReduce(graph).run(WidestPath(source=0))
+    widths = result.vertex_values
+    print(f"converged in {result.iterations} iterations "
+          f"(simulated {result.sim_time * 1e3:.3f} ms)")
+
+    reference = reference_widest_path(graph, 0)
+    reachable = reference > 0
+    ok = np.allclose(widths[reachable], reference[reachable], rtol=1e-5)
+    print(f"matches O(V^2) reference on {np.count_nonzero(reachable)} "
+          f"reachable vertices: {ok}")
+    assert ok
+
+    finite = widths[reachable & (widths < np.inf)]
+    print(f"bottleneck bandwidth: min {finite.min():.1f}, "
+          f"median {np.median(finite):.1f}, max {finite.max():.1f}")
+
+
+if __name__ == "__main__":
+    main()

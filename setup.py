@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-use-pep517` takes the legacy setup.py develop path,
+which needs only setuptools. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""GraphReduce (SC '15) reproduction.
+
+Out-of-GPU-memory graph processing on a simulated accelerator-based
+system: the paper's Gather-Apply-Scatter framework (``repro.core``), the
+graph substrate and Table-1 dataset stand-ins (``repro.graph``), the
+machine model (``repro.sim``), the comparison frameworks
+(``repro.baselines``), the evaluated algorithms (``repro.algorithms``)
+and the benchmark harness for every paper table and figure
+(``repro.bench``).
+
+Quickstart::
+
+    from repro.core import GraphReduce
+    from repro.algorithms import PageRank
+    from repro.graph.generators import social_graph
+
+    result = GraphReduce(social_graph(12, 40_000)).run(PageRank())
+    result.vertex_values   # exact values
+    result.sim_time        # simulated seconds on the modeled K20c node
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import GraphReduce, GraphReduceOptions, GraphReduceResult
+
+__all__ = ["GraphReduce", "GraphReduceOptions", "GraphReduceResult", "__version__"]

@@ -1,0 +1,91 @@
+"""Breadth-First Search.
+
+Two formulations:
+
+* :class:`BFS` -- the paper's apply-only form (Section 5.3): "BFS only
+  requires users to define the apply phase, in which the BFS tree depth
+  for every vertex is marked to be the iteration number." With neither
+  gather nor scatter defined, the Phase Fusion Engine merges apply with
+  FrontierActivate and eliminates all in-edge movement -- the biggest
+  beneficiary of dynamic phase fusion/elimination.
+* :class:`BFSGather` -- the conventional pull formulation (gather the
+  min parent depth + 1), used by the ablation benchmarks to quantify
+  what the fused form saves.
+
+Vertex value: the BFS tree depth (UNREACHED = +inf until visited).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import GASProgram
+
+#: Depth marker for vertices not yet reached.
+UNREACHED = np.float32(np.inf)
+
+
+class BFS(GASProgram):
+    """Apply-only BFS (depth = iteration number when first activated)."""
+
+    name = "bfs"
+    gather_reduce = np.minimum
+    gather_identity = np.inf
+
+    def __init__(self, source: int = 0):
+        self.source = source
+
+    def init_vertices(self, ctx):
+        # The source too starts UNREACHED; apply marks it with depth 0 on
+        # iteration 0, which flags it "changed" and seeds FrontierActivate.
+        return np.full(ctx.num_vertices, UNREACHED, dtype=self.vertex_dtype)
+
+    def init_frontier(self, ctx):
+        frontier = np.zeros(ctx.num_vertices, dtype=bool)
+        frontier[self.source] = True
+        return frontier
+
+    def apply(self, ctx, vids, old_vals, gathered, has_gather, iteration):
+        # A vertex enters the frontier only via FrontierActivate from a
+        # changed neighbor, so "unvisited and active" means depth is the
+        # current iteration number (source is iteration 0).
+        unvisited = np.isinf(old_vals)
+        new_vals = np.where(unvisited, np.float32(iteration), old_vals)
+        return new_vals, unvisited
+
+
+class BFSGather(GASProgram):
+    """Pull-style BFS: gather min(parent depth) + 1 over in-edges."""
+
+    name = "bfs-gather"
+    gather_reduce = np.minimum
+    gather_identity = np.inf
+
+    def __init__(self, source: int = 0):
+        self.source = source
+
+    def init_vertices(self, ctx):
+        vals = np.full(ctx.num_vertices, UNREACHED, dtype=self.vertex_dtype)
+        vals[self.source] = 0.0
+        return vals
+
+    def init_frontier(self, ctx):
+        frontier = np.zeros(ctx.num_vertices, dtype=bool)
+        frontier[self.source] = True
+        return frontier
+
+    def gather_map(self, ctx, src_ids, dst_ids, src_vals, weights, edge_states):
+        return src_vals + np.float32(1.0)
+
+    def apply(self, ctx, vids, old_vals, gathered, has_gather, iteration):
+        candidate = np.where(has_gather, gathered, np.inf).astype(old_vals.dtype)
+        if self.source in vids:
+            # The source has no gathered depth on iteration 0; keep it.
+            candidate[vids == self.source] = np.minimum(
+                candidate[vids == self.source], old_vals[vids == self.source]
+            )
+        improved = candidate < old_vals
+        new_vals = np.where(improved, candidate, old_vals)
+        # The source must report "changed" once to seed FrontierActivate.
+        changed = improved | ((vids == self.source) & (iteration == 0))
+        return new_vals, changed

@@ -1,0 +1,38 @@
+"""Connected Components by label propagation (the paper's Figure 6).
+
+gatherMap forwards the source label, gatherReduce takes the min, apply
+keeps the smaller label and reports whether it changed; there is no
+scatter. Undirected inputs are stored as pairs of directed edges
+(Section 6.1), so min-labels flood whole weakly connected components.
+Every vertex starts active with its own id as label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import GASProgram
+
+
+class ConnectedComponents(GASProgram):
+    name = "cc"
+    gather_reduce = np.minimum
+    gather_identity = np.inf
+
+    def init_vertices(self, ctx):
+        return np.arange(ctx.num_vertices, dtype=self.vertex_dtype)
+
+    def init_frontier(self, ctx):
+        return np.ones(ctx.num_vertices, dtype=bool)
+
+    def gather_map(self, ctx, src_ids, dst_ids, src_vals, weights, edge_states):
+        # Figure 6's gatherMap: "return *srcLabel".
+        return src_vals
+
+    def apply(self, ctx, vids, old_vals, gathered, has_gather, iteration):
+        # Figure 6's apply: label = min(curLabel, gathered); changed when
+        # the gathered label is strictly smaller.
+        candidate = np.where(has_gather, gathered, np.inf).astype(old_vals.dtype)
+        changed = candidate < old_vals
+        new_vals = np.where(changed, candidate, old_vals)
+        return new_vals, changed

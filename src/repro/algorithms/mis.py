@@ -1,0 +1,73 @@
+"""Maximal independent set by Luby's algorithm under GAS.
+
+Vertex state encodes the three-way status: UNDECIDED, IN (the set) or
+OUT (dominated). Each vertex draws a fixed random priority; gather
+returns, per in-edge, a sentinel encoding of the source's status and
+priority; apply then decides:
+
+* any neighbor IN  -> OUT;
+* my priority beats every undecided neighbor's -> IN;
+* otherwise stay undecided and wait for neighbors to change.
+
+Activation is change-driven, exactly the frontier machinery's sweet
+spot: a vertex can only become decidable when a neighbor decided.
+Requires undirected (symmetrized) storage so "neighbor" is symmetric.
+
+The encoding packs status into the float contribution: an IN neighbor
+contributes +inf (forces OUT), an OUT neighbor -inf (ignorable), an
+undecided neighbor its priority in (0, 1); max-reduce then yields
+exactly the one number apply needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import GASProgram
+
+UNDECIDED = np.float32(0.0)
+IN_SET = np.float32(1.0)
+OUT = np.float32(2.0)
+
+
+class MaximalIndependentSet(GASProgram):
+    name = "mis"
+    gather_reduce = np.maximum
+    gather_identity = -np.inf
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._priorities: np.ndarray | None = None
+
+    def priorities(self, n: int) -> np.ndarray:
+        if self._priorities is None or len(self._priorities) != n:
+            rng = np.random.default_rng(self.seed)
+            # Strictly positive, all-distinct priorities in (0, 1).
+            self._priorities = (
+                (rng.permutation(n).astype(np.float64) + 1.0) / (n + 2.0)
+            ).astype(np.float32)
+        return self._priorities
+
+    def init_vertices(self, ctx):
+        self.priorities(ctx.num_vertices)
+        return np.full(ctx.num_vertices, UNDECIDED, dtype=self.vertex_dtype)
+
+    def init_frontier(self, ctx):
+        return np.ones(ctx.num_vertices, dtype=bool)
+
+    def gather_map(self, ctx, src_ids, dst_ids, src_vals, weights, edge_states):
+        prio = self.priorities(ctx.num_vertices)[src_ids]
+        out = np.where(src_vals == IN_SET, np.float32(np.inf), prio)
+        return np.where(src_vals == OUT, np.float32(-np.inf), out)
+
+    def apply(self, ctx, vids, old_vals, gathered, has_gather, iteration):
+        strongest = np.where(has_gather, gathered, np.float32(-np.inf))
+        undecided = old_vals == UNDECIDED
+        my_prio = self.priorities(ctx.num_vertices)[vids]
+        dominated = undecided & np.isposinf(strongest)
+        wins = undecided & ~dominated & (my_prio > strongest)
+        new_vals = np.where(dominated, OUT, np.where(wins, IN_SET, old_vals))
+        return new_vals, dominated | wins
+
+    def members(self, values: np.ndarray) -> np.ndarray:
+        return np.flatnonzero(values == IN_SET)

@@ -1,0 +1,47 @@
+"""Sparse matrix-vector multiplication as a single GAS iteration.
+
+The paper lists sparse linear algebra among the GAS-expressible workloads
+(Section 2.1). Treating the weighted graph as the matrix A with
+``A[u, v] = w(u -> v)``, one gather+apply pass computes
+
+    y[v] = sum over in-edges (u -> v) of w(u, v) * x[u],
+
+i.e. ``y = A^T x`` in matrix terms. Apply stores the gathered dot
+product and reports no changes, so the frontier empties and the runtime
+stops after exactly one iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import GASProgram
+
+
+class SpMV(GASProgram):
+    name = "spmv"
+    gather_reduce = np.add
+    gather_identity = 0.0
+    needs_weights = True
+
+    def __init__(self, x: np.ndarray):
+        self.x = np.asarray(x, dtype=np.float32)
+
+    def init_vertices(self, ctx):
+        if self.x.shape != (ctx.num_vertices,):
+            raise ValueError(
+                f"input vector must have shape ({ctx.num_vertices},), got {self.x.shape}"
+            )
+        # Vertex value layout: the input vector; apply overwrites it with
+        # the output component once gathered.
+        return self.x.copy()
+
+    def init_frontier(self, ctx):
+        return np.ones(ctx.num_vertices, dtype=bool)
+
+    def gather_map(self, ctx, src_ids, dst_ids, src_vals, weights, edge_states):
+        return src_vals * weights
+
+    def apply(self, ctx, vids, old_vals, gathered, has_gather, iteration):
+        y = np.where(has_gather, gathered, np.float32(0.0)).astype(old_vals.dtype)
+        return y, np.zeros(len(vids), dtype=bool)

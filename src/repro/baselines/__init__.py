@@ -1,0 +1,46 @@
+"""The comparison frameworks of Section 6.
+
+Out-of-memory CPU frameworks (Table 3, Figures 13/14):
+
+* :mod:`repro.baselines.graphchi` -- GraphChi's vertex-centric parallel
+  sliding windows (PSW) over host memory.
+* :mod:`repro.baselines.xstream` -- X-Stream's edge-centric streaming
+  partitions with scatter/shuffle/gather passes.
+
+In-GPU-memory frameworks (Tables 2 and 4):
+
+* :mod:`repro.baselines.cusha` -- CuSha's G-Shards: fully coalesced
+  whole-graph kernels with no frontier awareness.
+* :mod:`repro.baselines.mapgraph` -- MapGraph's frontier-adaptive
+  dynamic scheduling.
+
+Hybrid (Section 2.2 discussion, implemented as an extension):
+
+* :mod:`repro.baselines.totem` -- Totem's static CPU/GPU degree split.
+
+All frameworks execute the *same* :class:`repro.core.api.GASProgram`
+instances through the shared host executor, so vertex values agree
+bit-for-bit across frameworks and only the performance models differ.
+Each model's constants are documented inline and calibrated against the
+paper's published tables (see EXPERIMENTS.md for the fit).
+"""
+
+from repro.baselines.base import BaselineResult, Framework
+from repro.baselines.cusha import CuSha
+from repro.baselines.executor import HostGASExecutor, IterationProfile
+from repro.baselines.graphchi import GraphChi
+from repro.baselines.mapgraph import MapGraph
+from repro.baselines.totem import Totem
+from repro.baselines.xstream import XStream
+
+__all__ = [
+    "BaselineResult",
+    "Framework",
+    "HostGASExecutor",
+    "IterationProfile",
+    "GraphChi",
+    "XStream",
+    "CuSha",
+    "MapGraph",
+    "Totem",
+]

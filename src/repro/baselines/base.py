@@ -1,0 +1,75 @@
+"""Common framework interface and result type for the baselines."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.executor import ExecutionTrace, HostGASExecutor
+from repro.core.api import GASProgram
+from repro.graph.edgelist import EdgeList
+
+
+@dataclass
+class BaselineResult:
+    """Output + simulated performance of one framework run."""
+
+    framework: str
+    vertex_values: np.ndarray
+    iterations: int
+    converged: bool
+    #: simulated execution time, seconds
+    sim_time: float
+    #: named cost components summing (approximately) to sim_time
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+class Framework(ABC):
+    """A graph-processing system modeled over the Section-6.1 testbed.
+
+    Subclasses implement :meth:`cost` -- the per-run cost model over the
+    shared executor's activity census -- and may override
+    :meth:`check_capacity` to enforce memory limits (the in-GPU-memory
+    frameworks raise :class:`repro.sim.memory.DeviceOOMError` on Table
+    1's out-of-memory graphs).
+    """
+
+    name: str = "framework"
+    #: partition count used for the locality census
+    census_partitions: int = 16
+
+    def run(
+        self,
+        edges: EdgeList,
+        program: GASProgram,
+        max_iterations: int = 100_000,
+        trace: ExecutionTrace | None = None,
+    ) -> BaselineResult:
+        """Execute ``program`` on ``edges`` under this framework's model.
+
+        ``trace`` lets callers share one semantic execution between
+        frameworks with the same census partition count (the benchmark
+        harness does this; results are identical either way).
+        """
+        self.check_capacity(edges, program)
+        if trace is None:
+            executor = HostGASExecutor(edges, program, self.census_partitions)
+            trace = executor.run(max_iterations)
+        sim_time, breakdown = self.cost(edges, program, trace)
+        return BaselineResult(
+            framework=self.name,
+            vertex_values=trace.vertex_values,
+            iterations=trace.iterations,
+            converged=trace.converged,
+            sim_time=sim_time,
+            breakdown=breakdown,
+        )
+
+    def check_capacity(self, edges: EdgeList, program: GASProgram) -> None:
+        """Raise when the input cannot be processed (default: no limit)."""
+
+    @abstractmethod
+    def cost(self, edges: EdgeList, program: GASProgram, trace: ExecutionTrace) -> tuple[float, dict]:
+        """Simulated seconds + named breakdown for this execution."""

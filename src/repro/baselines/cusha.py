@@ -1,0 +1,66 @@
+"""CuSha: G-Shards in GPU memory.
+
+CuSha (Khorasani et al., HPDC'14) reshapes CSR into *G-Shards* --
+edge-entry arrays laid out so warps read and write fully coalesced --
+plus Concatenated Windows for the writeback. Its defining costs:
+
+* the whole graph must fit in device memory (it raises
+  :class:`~repro.sim.memory.DeviceOOMError` on Table 1's out-of-memory
+  graphs, which is the gap GraphReduce fills);
+* every iteration processes **every edge** -- there is no frontier, so
+  high-diameter inputs (belgium_osm BFS: 791 ms vs MapGraph's 196 ms in
+  Table 2/4) pay thousands of full-graph sweeps;
+* in exchange, the per-edge rate is the best of the GPU frameworks
+  (fully coalesced G-Shard entries), which is why it crushes X-Stream
+  by up to 389x on kron_g500-logn20 (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import Framework
+from repro.baselines.executor import ExecutionTrace
+from repro.core.api import GASProgram
+from repro.graph.edgelist import EdgeList
+from repro.graph.properties import footprint_bytes
+from repro.sim.memory import DeviceOOMError
+from repro.sim.specs import DeviceSpec, K20C
+
+
+@dataclass
+class CuShaConfig:
+    """Calibrated against Tables 2/4 (see EXPERIMENTS.md)."""
+
+    #: coalesced G-Shard edge processing, edges/s
+    edge_rate: float = 3.0e9
+    #: per-vertex writeback through Concatenated Windows, vertices/s
+    vertex_rate: float = 2.0e9
+    #: kernels per iteration (shard sweep + CW update)
+    kernels_per_iteration: int = 2
+
+
+class CuSha(Framework):
+    name = "CuSha"
+
+    def __init__(self, config: CuShaConfig | None = None, device: DeviceSpec = K20C):
+        self.config = config or CuShaConfig()
+        self.device = device
+
+    def check_capacity(self, edges: EdgeList, program: GASProgram) -> None:
+        need = footprint_bytes(edges)
+        if need > self.device.memory_bytes:
+            raise DeviceOOMError(need, self.device.memory_bytes, self.device.memory_bytes)
+
+    def cost(self, edges: EdgeList, program: GASProgram, trace: ExecutionTrace):
+        cfg, dev = self.config, self.device
+        # One-time H2D of the G-Shards.
+        upload = footprint_bytes(edges) / dev.pcie_bandwidth + dev.memcpy_setup
+        per_iter = (
+            cfg.kernels_per_iteration * dev.kernel_launch_overhead
+            + edges.num_edges / cfg.edge_rate  # every edge, every iteration
+            + edges.num_vertices / cfg.vertex_rate
+        )
+        compute = len(trace.profiles) * per_iter
+        total = upload + compute
+        return total, {"upload": upload, "compute": compute}

@@ -1,0 +1,66 @@
+"""MapGraph: frontier-adaptive GAS on the GPU.
+
+MapGraph (Fu et al., GRADES'14) keeps the whole graph in device memory
+and picks a scheduling strategy each iteration from the frontier size
+and its adjacency volume (dynamic CTA / scan-based gather). That makes
+it excellent on traversal workloads (best belgium_osm BFS in Table 4)
+but the per-frontier-vertex scheduling machinery -- frontier
+compaction, adjacency-length scans, strategy dispatch -- costs real time
+when the frontier stays huge for many iterations, which is why its
+PageRank on kron_g500-logn20 is ~3.7x slower than CuSha (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import Framework
+from repro.baselines.executor import ExecutionTrace
+from repro.core.api import GASProgram
+from repro.graph.edgelist import EdgeList
+from repro.graph.properties import footprint_bytes
+from repro.sim.memory import DeviceOOMError
+from repro.sim.specs import DeviceSpec, K20C
+
+
+@dataclass
+class MapGraphConfig:
+    """Calibrated against Tables 2/4 (see EXPERIMENTS.md)."""
+
+    #: frontier-restricted edge expansion, edges/s
+    edge_rate: float = 1.5e9
+    #: frontier compaction + adjacency scan + strategy dispatch,
+    #: frontier-vertices/s
+    scheduling_rate: float = 50e6
+    #: kernel launches per iteration (advance, filter, compact)
+    kernels_per_iteration: int = 3
+
+
+class MapGraph(Framework):
+    name = "MapGraph"
+
+    def __init__(self, config: MapGraphConfig | None = None, device: DeviceSpec = K20C):
+        self.config = config or MapGraphConfig()
+        self.device = device
+
+    def check_capacity(self, edges: EdgeList, program: GASProgram) -> None:
+        need = footprint_bytes(edges)
+        if need > self.device.memory_bytes:
+            raise DeviceOOMError(need, self.device.memory_bytes, self.device.memory_bytes)
+
+    def cost(self, edges: EdgeList, program: GASProgram, trace: ExecutionTrace):
+        cfg, dev = self.config, self.device
+        upload = footprint_bytes(edges) / dev.pcie_bandwidth + dev.memcpy_setup
+        expand = scheduling = launches = 0.0
+        for prof in trace.profiles:
+            work_edges = prof.active_in_edges if prof.active_in_edges else prof.changed_out_edges
+            expand += work_edges / cfg.edge_rate
+            scheduling += prof.active_vertices / cfg.scheduling_rate
+            launches += cfg.kernels_per_iteration * dev.kernel_launch_overhead
+        total = upload + expand + scheduling + launches
+        return total, {
+            "upload": upload,
+            "edge_expand": expand,
+            "frontier_scheduling": scheduling,
+            "kernel_launches": launches,
+        }

@@ -1,0 +1,98 @@
+"""Totem: static hybrid CPU+GPU partitioning (Gharaibeh et al., PACT'12).
+
+Totem places high-degree vertices (and their edges) on the GPU up to its
+memory capacity and the remainder on the CPU; each BSP superstep runs
+both sides in parallel and exchanges boundary messages over PCIe.
+Section 2.2's critique, which this model reproduces: as graphs grow,
+only a fixed subgraph fits on the GPU, so the CPU side becomes the
+bottleneck and the GPU idles -- the motivation for GraphReduce's
+streaming approach. Included as an extension beyond the paper's
+evaluated set (it appears in the related-work discussion, not the
+tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import Framework
+from repro.baselines.executor import ExecutionTrace
+from repro.core.api import GASProgram
+from repro.graph.edgelist import EdgeList
+from repro.graph.properties import BYTES_PER_EDGE, BYTES_PER_VERTEX
+from repro.sim.specs import DeviceSpec, HostSpec, K20C, XEON_E5_2670
+
+
+@dataclass
+class TotemConfig:
+    #: GPU-side edge rate, edges/s
+    gpu_edge_rate: float = 2.0e9
+    #: CPU-side edge rate, edges/s
+    cpu_edge_rate: float = 40e6
+    #: fraction of device memory usable for the subgraph
+    memory_fraction: float = 0.9
+
+
+class Totem(Framework):
+    name = "Totem"
+
+    def __init__(
+        self,
+        config: TotemConfig | None = None,
+        device: DeviceSpec = K20C,
+        host: HostSpec = XEON_E5_2670,
+    ):
+        self.config = config or TotemConfig()
+        self.device = device
+        self.host = host
+
+    def _split(self, edges: EdgeList) -> tuple[float, float]:
+        """Fraction of edges on GPU and the boundary-edge fraction."""
+        degrees = edges.out_degrees() + edges.in_degrees()
+        order = np.argsort(degrees)[::-1]  # high degree first -> GPU
+        budget = self.device.memory_bytes * self.config.memory_fraction
+        edge_budget = max(budget - edges.num_vertices * BYTES_PER_VERTEX, 0)
+        cum_edges = np.cumsum(degrees[order]) / 2  # each edge counted ~twice
+        can_host = int(np.searchsorted(cum_edges, edge_budget / BYTES_PER_EDGE))
+        gpu_vertices = np.zeros(edges.num_vertices, dtype=bool)
+        gpu_vertices[order[:can_host]] = True
+        src_on_gpu = gpu_vertices[edges.src]
+        dst_on_gpu = gpu_vertices[edges.dst]
+        gpu_fraction = float(np.count_nonzero(src_on_gpu & dst_on_gpu)) / max(edges.num_edges, 1)
+        boundary_fraction = float(np.count_nonzero(src_on_gpu ^ dst_on_gpu)) / max(edges.num_edges, 1)
+        return gpu_fraction, boundary_fraction
+
+    def cost(self, edges: EdgeList, program: GASProgram, trace: ExecutionTrace):
+        cfg = self.config
+        gpu_frac, boundary_frac = self._split(edges)
+        cpu_frac = 1.0 - gpu_frac - boundary_frac
+        gpu_time = cpu_time = sync_time = total = 0.0
+        for prof in trace.profiles:
+            work = max(prof.active_in_edges, prof.changed_out_edges)
+            gpu_i = work * gpu_frac / cfg.gpu_edge_rate
+            cpu_i = work * (cpu_frac + boundary_frac) / cfg.cpu_edge_rate
+            # Boundary messages cross PCIe each superstep (8 B each).
+            sync_i = (
+                work * boundary_frac * 8 / self.device.pcie_bandwidth
+                + self.device.memcpy_setup
+            )
+            gpu_time += gpu_i
+            cpu_time += cpu_i
+            sync_time += sync_i
+            # Sides run in parallel; the superstep takes the slower side.
+            total += max(gpu_i, cpu_i) + sync_i
+        return total, {
+            "gpu_side": gpu_time,
+            "cpu_side": cpu_time,
+            "boundary_sync": sync_time,
+            "gpu_edge_fraction": gpu_frac,
+        }
+
+    def gpu_utilization(self, edges: EdgeList) -> float:
+        """Fraction of edges the GPU gets to process -- shrinks as the
+
+        graph outgrows device memory (the Section 2.2 critique)."""
+        gpu_frac, _ = self._split(edges)
+        return gpu_frac

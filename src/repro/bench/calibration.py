@@ -1,0 +1,144 @@
+"""Calibration ledger: every cost-model constant, with its derivation.
+
+Single source of truth for *why* each number in the specs and baseline
+configs has its value. The test suite asserts the ledger matches the
+live defaults, so a recalibration cannot silently drift away from its
+documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Constant:
+    name: str
+    value: float
+    unit: str
+    derivation: str
+
+
+LEDGER: list[Constant] = [
+    Constant(
+        "DeviceSpec.pcie_peak_bandwidth", 6.0e9, "B/s",
+        "PCIe gen2 x16 effective peak on the K20c era platforms; what "
+        "pinned zero-copy streaming approaches in Figure 4.",
+    ),
+    Constant(
+        "DeviceSpec.pcie_bandwidth", 3.3e9, "B/s",
+        "Explicit cudaMemcpy from *pageable* host memory runs at ~55% of "
+        "peak (driver staging buffer); GR chose explicit transfers "
+        "(Section 3.2), so shard streaming pays this rate.",
+    ),
+    Constant(
+        "DeviceSpec.memcpy_setup", 10e-6, "s",
+        "cudaMemcpyAsync driver/launch latency; the overhead the spray "
+        "operation overlaps (Section 5.1).",
+    ),
+    Constant(
+        "DeviceSpec.kernel_launch_overhead", 6e-6, "s",
+        "Kepler-era kernel launch latency; what dynamic frontier "
+        "management saves by skipping empty shards (Section 5.2).",
+    ),
+    Constant(
+        "DeviceSpec.edge_rate_seq", 2.0e9, "edges/s",
+        "Coalesced edge-centric phase throughput: K20c frameworks "
+        "sustain 1-3 GTEPS on resident graphs (CuSha/MapGraph papers).",
+    ),
+    Constant(
+        "DeviceSpec.memory_bytes", float(int(4.8 * 2**30 / 64 / 2.75)), "B",
+        "4.8 GB K20c scaled by the 1/64 dataset factor and the 2.75x "
+        "byte-density ratio between the paper's ~54 B/edge accounting "
+        "and this reproduction's ~20 B/edge layout (preserves Table 1's "
+        "in-/out-of-memory split).",
+    ),
+    Constant(
+        "XStreamConfig.scan_rate", 80e6, "edges/s",
+        "16-thread sequential edge streaming with update generation; "
+        "calibrated so Table-3 X-Stream rows keep the paper's flat "
+        "profile across algorithms.",
+    ),
+    Constant(
+        "XStreamConfig.remote_update_rate", 3e6, "updates/s",
+        "Cross-partition shuffle = random writes; makes X-Stream's "
+        "kron/web costs shuffle-dominated (GR's biggest wins) while "
+        "meshes stay scan-dominated (GR's smallest wins), matching the "
+        "Table-3 ordering.",
+    ),
+    Constant(
+        "XStreamConfig.local_update_rate", 60e6, "updates/s",
+        "Partition-local updates stay cache-resident.",
+    ),
+    Constant(
+        "GraphChiConfig.edge_work_rate", 5e6, "edges/s",
+        "PSW vertex-centric callback cost, charged on reads of active "
+        "in-edges AND sorted write-back of changed out-edges; yields "
+        "X-Stream < GraphChi everywhere as in Table 3, with the largest "
+        "gap on update-heavy mesh CC (paper: 1560 s vs 133 s).",
+    ),
+    Constant(
+        "GraphChiConfig.stream_rate", 3e9, "B/s",
+        "PSW shard load + rewrite bandwidth (below raw DRAM bandwidth).",
+    ),
+    Constant(
+        "CuShaConfig.edge_rate", 3.0e9, "edges/s",
+        "G-Shards fully coalesced sweeps -- the best per-edge rate of "
+        "the GPU frameworks (Table 2's 389x over X-Stream on kron).",
+    ),
+    Constant(
+        "MapGraphConfig.edge_rate", 1.5e9, "edges/s",
+        "Frontier-restricted expansion, half of CuSha's coalesced rate.",
+    ),
+    Constant(
+        "MapGraphConfig.scheduling_rate", 50e6, "vertices/s",
+        "Frontier compaction + adjacency scans + strategy dispatch; "
+        "makes MapGraph ~3-4x slower than CuSha on all-active PageRank "
+        "over kron (Table 4: 6789 ms vs 1852 ms) while it wins "
+        "small-frontier road BFS.",
+    ),
+]
+
+
+def ledger_by_name() -> dict[str, Constant]:
+    return {c.name: c for c in LEDGER}
+
+
+def live_values() -> dict[str, float]:
+    """The currently configured defaults for every ledger entry."""
+    from repro.baselines.cusha import CuShaConfig
+    from repro.baselines.graphchi import GraphChiConfig
+    from repro.baselines.mapgraph import MapGraphConfig
+    from repro.baselines.xstream import XStreamConfig
+    from repro.sim.specs import DeviceSpec
+
+    dev = DeviceSpec()
+    xs = XStreamConfig()
+    chi = GraphChiConfig()
+    cusha = CuShaConfig()
+    mg = MapGraphConfig()
+    return {
+        "DeviceSpec.pcie_peak_bandwidth": dev.pcie_peak_bandwidth,
+        "DeviceSpec.pcie_bandwidth": dev.pcie_bandwidth,
+        "DeviceSpec.memcpy_setup": dev.memcpy_setup,
+        "DeviceSpec.kernel_launch_overhead": dev.kernel_launch_overhead,
+        "DeviceSpec.edge_rate_seq": dev.edge_rate_seq,
+        "DeviceSpec.memory_bytes": float(dev.memory_bytes),
+        "XStreamConfig.scan_rate": xs.scan_rate,
+        "XStreamConfig.remote_update_rate": xs.remote_update_rate,
+        "XStreamConfig.local_update_rate": xs.local_update_rate,
+        "GraphChiConfig.edge_work_rate": chi.edge_work_rate,
+        "GraphChiConfig.stream_rate": chi.stream_rate,
+        "CuShaConfig.edge_rate": cusha.edge_rate,
+        "MapGraphConfig.edge_rate": mg.edge_rate,
+        "MapGraphConfig.scheduling_rate": mg.scheduling_rate,
+    }
+
+
+def render() -> str:
+    lines = ["Calibration ledger", "==================", ""]
+    for c in LEDGER:
+        lines.append(f"{c.name} = {c.value:g} {c.unit}")
+        lines.append(f"    {c.derivation}")
+        lines.append("")
+    return "\n".join(lines)

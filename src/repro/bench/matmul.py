@@ -1,0 +1,88 @@
+"""Out-of-core striped matrix multiplication (Figure 5).
+
+The Section-3.3 motivating experiment: multiply two N x N matrices when
+A does not fit on the device. A streams through in stripes of
+``stripe_rows`` contiguous rows (the paper uses 50); B stays resident;
+each stripe is H2D-copied, multiplied, and its C stripe copied back.
+
+Three schedules, all on the simulated device:
+
+* ``unoptimized`` -- one stream, fully synchronous: copy, compute, copy
+  back, repeat.
+* ``compute_transfer`` -- two streams with double buffering: stripe
+  k+1's transfer overlaps stripe k's kernel.
+* ``compute_compute`` -- additionally several concurrent kernels soak up
+  occupancy left by stripes too small to fill the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.device import GPUDevice
+from repro.sim.engine import Simulator
+from repro.sim.specs import DeviceSpec
+from repro.sim.stream import Kernel, Memcpy
+
+#: Sustained SGEMM throughput of the modeled K20c, FLOP/s.
+GEMM_FLOPS = 1.0e12
+
+SCHEMES = ("unoptimized", "compute_transfer", "compute_compute")
+
+
+@dataclass(frozen=True)
+class MatmulCase:
+    n: int
+    stripe_rows: int = 50
+    elem_bytes: int = 4  # float, as in the paper's experiments
+
+
+def stripe_ops(case: MatmulCase):
+    """Per-stripe (h2d_bytes, kernel_seconds, d2h_bytes)."""
+    rows = case.stripe_rows
+    h2d = rows * case.n * case.elem_bytes
+    flops = 2.0 * rows * case.n * case.n
+    return h2d, flops / GEMM_FLOPS, h2d
+
+
+def run_scheme(case: MatmulCase, scheme: str, spec: DeviceSpec | None = None) -> float:
+    """Simulated seconds to multiply under the given schedule."""
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+    sim = Simulator()
+    device = GPUDevice(sim, spec or DeviceSpec())
+    n_stripes = -(-case.n // case.stripe_rows)
+    h2d, kernel_s, d2h = stripe_ops(case)
+    if scheme == "unoptimized":
+        streams = [device.create_stream("s0")]
+    elif scheme == "compute_transfer":
+        streams = [device.create_stream(f"s{i}") for i in range(2)]
+    else:
+        streams = [device.create_stream(f"s{i}") for i in range(4)]
+    # One thread per output element of the stripe: a stripe narrower
+    # than the machine width leaves SMs idle, which only the
+    # compute_compute schedule's concurrent kernels can use.
+    threads = case.stripe_rows * case.n
+    machine_width = device.spec.sm_count * 2048
+    occupancy = min(1.0, threads / machine_width)
+    for i in range(n_stripes):
+        stream = streams[i % len(streams)]
+        stream.enqueue(Memcpy(h2d, "h2d", f"A[{i}]"))
+        stream.enqueue(
+            Kernel(threads, "vertex", f"gemm[{i}]", work_seconds=kernel_s, occupancy=occupancy)
+        )
+        stream.enqueue(Memcpy(d2h, "d2h", f"C[{i}]"))
+        if scheme == "unoptimized":
+            device.synchronize()
+    device.synchronize()
+    return sim.now
+
+
+def sweep(sizes: list[int], stripe_rows: int = 50) -> dict[str, dict[int, float]]:
+    """Figure-5 data: scheme -> size -> simulated seconds."""
+    out: dict[str, dict[int, float]] = {s: {} for s in SCHEMES}
+    for n in sizes:
+        case = MatmulCase(n=n, stripe_rows=stripe_rows)
+        for scheme in SCHEMES:
+            out[scheme][n] = run_scheme(case, scheme)
+    return out

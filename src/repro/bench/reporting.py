@@ -1,0 +1,104 @@
+"""Formatting and persistence for benchmark outputs.
+
+Every experiment produces (a) a human-readable table/series printed to
+stdout and mirrored to ``results/<name>.txt`` and (b) the raw numbers in
+``results/<name>.json`` for EXPERIMENTS.md and downstream analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Default output directory (repo-root/results when run from the repo).
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+
+def format_table(title: str, headers: list[str], rows: list[list], note: str = "") -> str:
+    """Fixed-width table in the style of the paper's Tables 1-4."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for j, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines) + "\n"
+
+
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: list, width: int = 60) -> str:
+    """A text sparkline of the series, peak-normalized.
+
+    >>> sparkline([0, 5, 10], width=3)
+    ' =@'
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    peak = max(vals)
+    if peak <= 0:
+        return " " * len(vals)
+    top = len(SPARK_LEVELS) - 1
+    return "".join(SPARK_LEVELS[int(round(v / peak * top))] for v in vals)
+
+
+def format_series(title: str, series: dict[str, list], max_points: int = 60) -> str:
+    """Per-iteration series (the Figure 3/16 frontier plots) as text,
+
+    with a sparkline rendering of each curve's shape."""
+    lines = [title, "=" * len(title)]
+    for name, values in series.items():
+        vals = list(values)
+        shown = vals
+        if len(vals) > max_points:
+            step = len(vals) / max_points
+            shown = [vals[int(i * step)] for i in range(max_points)]
+        peak = max(vals) if vals else 0
+        lines.append(f"{name}  (iterations={len(vals)}, peak={peak})")
+        lines.append("  |" + sparkline(vals, max_points) + "|")
+        lines.append("  " + " ".join(_fmt(v) for v in shown))
+    return "\n".join(lines) + "\n"
+
+
+def save_results(name: str, text: str, data, results_dir: Path | None = None) -> Path:
+    """Write ``<name>.txt`` and ``<name>.json`` under the results dir."""
+    out = Path(results_dir) if results_dir is not None else RESULTS_DIR
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{name}.txt").write_text(text)
+    (out / f"{name}.json").write_text(json.dumps(data, indent=2, default=_json_default))
+    return out / f"{name}.txt"
+
+
+def emit(name: str, text: str, data) -> None:
+    """Print and persist one experiment's output."""
+    print()
+    print(text)
+    save_results(name, text, data)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3g}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def _json_default(obj):
+    try:
+        return float(obj)
+    except (TypeError, ValueError):
+        return str(obj)

@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+    python -m repro datasets
+    python -m repro info
+    python -m repro run --graph orkut --algorithm bfs
+    python -m repro run --graph path/to/edges.txt --algorithm pagerank
+    python -m repro compare --graph kron_g500-logn21 --algorithm bfs
+
+``run`` executes one algorithm under GraphReduce and prints the result
+summary plus the simulated performance profile; ``compare`` adds every
+baseline framework. Graphs are either Table-1 dataset names or paths to
+edge-list / ``.npz`` / MatrixMarket files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import (
+    BFS,
+    ConnectedComponents,
+    KCore,
+    LabelPropagation,
+    PageRank,
+    SSSP,
+)
+from repro.core.runtime import GraphReduce, GraphReduceOptions
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.edgelist import EdgeList
+from repro.graph.io import load_edgelist_txt, load_matrix_market, load_npz
+from repro.graph.properties import footprint_bytes
+from repro.sim.specs import DeviceSpec, HostSpec, SCALE
+
+ALGORITHMS = {
+    "bfs": lambda args: BFS(source=args.source),
+    "sssp": lambda args: SSSP(source=args.source),
+    "pagerank": lambda args: PageRank(tolerance=args.tolerance),
+    "cc": lambda args: ConnectedComponents(),
+    "kcore": lambda args: KCore(k=args.k),
+    "labelprop": lambda args: LabelPropagation(),
+}
+
+
+def load_graph(spec: str) -> EdgeList:
+    """A Table-1 dataset name or a graph file path."""
+    if spec in DATASETS:
+        return load_dataset(spec)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {spec!r} is neither a dataset ({', '.join(sorted(DATASETS))}) "
+            "nor an existing file"
+        )
+    if path.suffix == ".npz":
+        return load_npz(path)
+    if path.suffix in (".mtx", ".mm"):
+        return load_matrix_market(path, name=path.stem)
+    return load_edgelist_txt(path)
+
+
+def prepare(graph: EdgeList, args) -> EdgeList:
+    if args.algorithm == "sssp" and graph.weights is None:
+        graph = graph.with_random_weights(seed=0)
+    if args.algorithm in ("cc", "kcore", "labelprop") and not graph.undirected:
+        sym = graph.symmetrized()
+        sym.name = graph.name
+        graph = sym
+    return graph
+
+
+def cmd_datasets(args) -> int:
+    device = DeviceSpec()
+    print(f"{'name':20s} {'family':18s} {'V':>9s} {'E':>10s} {'size':>9s}  class")
+    for name, info in DATASETS.items():
+        g = load_dataset(name)
+        fp = footprint_bytes(g)
+        cls = "in-memory" if fp <= device.memory_bytes else "out-of-memory"
+        print(
+            f"{name:20s} {info.family:18s} {g.num_vertices:9d} "
+            f"{g.num_edges:10d} {fp / 2**20:7.1f}MB  {cls}"
+        )
+    return 0
+
+
+def cmd_info(args) -> int:
+    dev, host = DeviceSpec(), HostSpec()
+    print(f"simulated machine (paper testbed at 1/{SCALE} scale):")
+    print(f"  device : {dev.name}, {dev.memory_bytes / 2**20:.1f} MiB, "
+          f"{dev.sm_count} SMX, {dev.hyperq} hardware queues")
+    print(f"  PCIe   : {dev.pcie_bandwidth / 1e9:.1f} GB/s effective "
+          f"({dev.pcie_peak_bandwidth / 1e9:.1f} GB/s peak), "
+          f"{dev.memcpy_setup * 1e6:.0f} us setup/copy")
+    print(f"  host   : {host.name}, {host.cores} cores, "
+          f"{host.memory_bytes / 2**20:.0f} MiB DRAM, "
+          f"SSD {host.ssd_bandwidth / 1e6:.0f} MB/s")
+    return 0
+
+
+def cmd_run(args) -> int:
+    graph = prepare(load_graph(args.graph), args)
+    program = ALGORITHMS[args.algorithm](args)
+    opts = (
+        GraphReduceOptions.unoptimized()
+        if args.unoptimized
+        else GraphReduceOptions(
+            num_partitions=args.partitions,
+            cache_policy=args.cache_policy,
+            host_backing=args.host_backing,
+            execution_mode=args.execution_mode,
+        )
+    )
+    result = GraphReduce(graph, options=opts).run(program, max_iterations=args.max_iterations)
+    vals = result.vertex_values
+    print(f"graph      : {graph}")
+    print(f"algorithm  : {program.name}")
+    print(f"iterations : {result.iterations} (converged={result.converged})")
+    print(f"mode       : {'in-GPU-memory' if result.in_memory_mode else 'streaming'}"
+          f" with {result.num_partitions} shards, K={result.concurrent_shards}")
+    print(f"sim time   : {result.sim_time:.6f} s "
+          f"(memcpy {result.memcpy_time:.6f} s, "
+          f"{100 * result.memcpy_fraction:.1f}% of execution)")
+    print(f"H2D / D2H  : {result.stats.h2d_bytes / 2**20:.2f} / "
+          f"{result.stats.d2h_bytes / 2**20:.2f} MiB, "
+          f"{result.stats.kernel_launches} kernels")
+    finite = vals[np.isfinite(vals)]
+    if len(finite):
+        print(f"values     : min {finite.min():.4g}, max {finite.max():.4g}, "
+              f"finite {len(finite)}/{len(vals)}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.baselines import CuSha, GraphChi, MapGraph, Totem, XStream
+    from repro.sim.memory import DeviceOOMError
+
+    graph = prepare(load_graph(args.graph), args)
+    program_factory = ALGORITHMS[args.algorithm]
+    gr = GraphReduce(graph).run(program_factory(args), max_iterations=args.max_iterations)
+    print(f"{'framework':14s} {'sim time (s)':>14s} {'vs GR':>9s}")
+    print(f"{'GraphReduce':14s} {gr.sim_time:14.6f} {'1.0x':>9s}")
+    for framework in (GraphChi(), XStream(), Totem(), CuSha(), MapGraph()):
+        try:
+            r = framework.run(graph, program_factory(args), max_iterations=args.max_iterations)
+        except DeviceOOMError:
+            print(f"{framework.name:14s} {'device OOM':>14s} {'-':>9s}")
+            continue
+        if not np.array_equal(r.vertex_values, gr.vertex_values):
+            print(f"{framework.name:14s} RESULT MISMATCH", file=sys.stderr)
+            return 1
+        print(f"{framework.name:14s} {r.sim_time:14.6f} {r.sim_time / gr.sim_time:8.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GraphReduce (SC'15) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("datasets", help="list the Table-1 dataset stand-ins")
+    sub.add_parser("info", help="show the simulated machine")
+    for name, help_text in (
+        ("run", "run one algorithm under GraphReduce"),
+        ("compare", "run GraphReduce and every baseline framework"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--graph", required=True, help="dataset name or graph file")
+        p.add_argument("--algorithm", required=True, choices=sorted(ALGORITHMS))
+        p.add_argument("--source", type=int, default=0, help="BFS/SSSP source vertex")
+        p.add_argument("--tolerance", type=float, default=1e-3, help="PageRank tolerance")
+        p.add_argument("--k", type=int, default=3, help="k for k-core")
+        p.add_argument("--max-iterations", type=int, default=100_000)
+    run_p = next(a for a in sub.choices.values() if a.prog.endswith("run"))
+    run_p.add_argument("--unoptimized", action="store_true",
+                       help="disable every Section-5 optimization (Figure 15 baseline)")
+    run_p.add_argument("--partitions", type=int, default=None, help="shard count override")
+    run_p.add_argument(
+        "--cache-policy", choices=("auto", "never", "greedy", "lru"), default="auto"
+    )
+    run_p.add_argument("--host-backing", choices=("dram", "ssd"), default="dram")
+    run_p.add_argument(
+        "--execution-mode", choices=("bsp", "async"), default="bsp",
+        help="bulk-synchronous phases (paper) or asynchronous sweeps",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = {
+        "datasets": cmd_datasets,
+        "info": cmd_info,
+        "run": cmd_run,
+        "compare": cmd_compare,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""GraphReduce: the paper's primary contribution.
+
+The framework of Section 4, mirrored module by module:
+
+* :mod:`repro.core.api` -- the user interface (Section 4.1): the
+  Gather-Apply-Scatter program definition (gatherMap / gatherReduce /
+  apply / scatter plus the vertex/edge data types -- the UserInfoTuple).
+* :mod:`repro.core.partition` -- the Partition Engine (Section 4.2):
+  edge-balanced vertex intervals, per-interval shards with in-edges in
+  CSC order and out-edges in CSR order, and the Partition Logic Table
+  plug-in point.
+* :mod:`repro.core.frontier` -- Dynamic Frontier Management
+  (Section 5.2): active/changed tracking, per-shard activity counts,
+  shard-skip decisions, frontier history for Figures 3/16/17.
+* :mod:`repro.core.fusion` -- the Phase Fusion Engine (Section 5.3):
+  dynamic phase elimination and fusion producing each iteration's phase
+  plan.
+* :mod:`repro.core.compute` -- the Compute Engine (Section 4.4): the
+  five phases with the hybrid edge-/vertex-centric execution model.
+* :mod:`repro.core.movement` -- the Data Movement Engine (Section 4.3
+  and 5.1): asynchronous shard streaming over CUDA streams, double
+  buffering, spray-stream deep copies and the Eq. (1)/(2) concurrent
+  shard computation.
+* :mod:`repro.core.runtime` -- the iteration driver tying it together.
+"""
+
+from repro.core.api import GASProgram, UserInfoTuple
+from repro.core.partition import PartitionEngine, Shard, ShardedGraph
+from repro.core.runtime import GraphReduce, GraphReduceOptions, GraphReduceResult
+
+__all__ = [
+    "GASProgram",
+    "UserInfoTuple",
+    "PartitionEngine",
+    "Shard",
+    "ShardedGraph",
+    "GraphReduce",
+    "GraphReduceOptions",
+    "GraphReduceResult",
+]

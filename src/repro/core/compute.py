@@ -1,0 +1,198 @@
+"""The Compute Engine (Section 4.4).
+
+Executes the five phases over one shard at a time with the *hybrid*
+programming model of Section 3.1:
+
+* ``gather_map``, ``scatter`` and ``frontier_activate`` are
+  **edge-centric** -- one (virtual) hardware thread per active edge,
+  enumerated via :func:`~repro.graph.csr.ragged_gather`, so real-world
+  graphs' edge surplus maps to parallelism and no per-vertex atomics
+  order the receives.
+* ``gather_reduce`` and ``apply`` are **vertex-centric** -- gathered
+  contributions arrive consecutively per destination (the CSC layout
+  guarantees it), so the reduction is a segmented ``ufunc.reduceat``.
+
+Each call returns a :class:`WorkItems` census that the Data Movement
+Engine turns into kernel cost; with frontier skipping disabled
+(the Figure-15 baseline) the census counts the full shard instead of the
+active subset, while the *semantic* computation is identical either way
+(inactive vertices are no-ops).
+
+CTA load balancing from ModernGPU (which the paper plugs in) is modeled
+by the occupancy term of :class:`repro.sim.stream.Kernel`: work per
+kernel is proportional to *active* items, not to the worst vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.api import GASProgram
+from repro.core.frontier import FrontierManager
+from repro.core.partition import Shard, ShardedGraph
+from repro.graph.csr import ragged_gather
+
+
+@dataclass
+class WorkItems:
+    """Edge- and vertex-centric work launched for one (shard, group)."""
+
+    edge_items: int = 0
+    vertex_items: int = 0
+
+    def __iadd__(self, other: "WorkItems") -> "WorkItems":
+        self.edge_items += other.edge_items
+        self.vertex_items += other.vertex_items
+        return self
+
+    @property
+    def total(self) -> int:
+        return self.edge_items + self.vertex_items
+
+
+@dataclass
+class _PendingGather:
+    """gatherMap output parked between the two unfused gather phases."""
+
+    starts: np.ndarray
+    verts: np.ndarray
+    contributions: np.ndarray
+
+
+class ComputeEngine:
+    """Phase execution over the runtime's resident vertex buffers."""
+
+    def __init__(
+        self,
+        sharded: ShardedGraph,
+        program: GASProgram,
+        ctx,
+        frontier: FrontierManager,
+    ):
+        self.sharded = sharded
+        self.program = program
+        self.ctx = ctx
+        self.frontier = frontier
+        n = sharded.num_vertices
+        self.vertex_values = np.asarray(program.init_vertices(ctx))
+        if self.vertex_values.shape != (n,):
+            raise ValueError(
+                f"init_vertices must return shape ({n},), got {self.vertex_values.shape}"
+            )
+        self.vertex_values = self.vertex_values.astype(program.vertex_dtype, copy=False)
+        self.gather_temp = np.full(n, program.gather_identity, dtype=program.gather_dtype)
+        self.gather_has = np.zeros(n, dtype=bool)
+        self.edge_state = program.init_edge_state(ctx)
+        self.iteration = 0
+        self._pending: dict[int, _PendingGather] = {}
+
+    # ------------------------------------------------------------------
+    def begin_iteration(self, iteration: int) -> None:
+        self.iteration = iteration
+        self.gather_has[:] = False
+        self._pending.clear()
+
+    def run_group(self, phases: tuple[str, ...], shard: Shard, count_full: bool) -> WorkItems:
+        """Execute the given (possibly fused) phases on one shard."""
+        work = WorkItems()
+        for phase in phases:
+            fn = getattr(self, "_" + phase)
+            work += fn(shard, count_full)
+        return work
+
+    # ------------------------------------------------------------------
+    # Edge-centric phases
+    # ------------------------------------------------------------------
+    def _gather_map(self, shard: Shard, count_full: bool) -> WorkItems:
+        if not self.program.has_gather:
+            return WorkItems(edge_items=shard.num_in_edges if count_full else 0)
+        rows = self.frontier.active_in(shard.start, shard.stop)
+        pos, seg = ragged_gather(shard.csc.indptr, rows - shard.start)
+        n_edges = shard.num_in_edges if count_full else len(pos)
+        if len(pos) == 0:
+            return WorkItems(edge_items=n_edges)
+        src = shard.csc.indices[pos]
+        eids = shard.csc.edge_ids[pos]
+        weights = None if shard.csc_weights is None else shard.csc_weights[pos]
+        states = None if self.edge_state is None else self.edge_state[eids]
+        dst = (seg + shard.start).astype(src.dtype)
+        contrib = self.program.gather_map(
+            self.ctx, src, dst, self.vertex_values[src], weights, states
+        )
+        starts = np.flatnonzero(np.r_[True, seg[1:] != seg[:-1]])
+        verts = seg[starts] + shard.start
+        self._pending[shard.index] = _PendingGather(starts, verts, contrib)
+        return WorkItems(edge_items=n_edges)
+
+    def _gather_reduce(self, shard: Shard, count_full: bool) -> WorkItems:
+        n_vert = shard.num_interval_vertices if count_full else 0
+        pending = self._pending.pop(shard.index, None)
+        if pending is None:
+            return WorkItems(vertex_items=n_vert)
+        reduced = self.program.gather_reduce.reduceat(
+            pending.contributions, pending.starts
+        )
+        self.gather_temp[pending.verts] = reduced.astype(
+            self.program.gather_dtype, copy=False
+        )
+        self.gather_has[pending.verts] = True
+        if not count_full:
+            n_vert = len(pending.verts)
+        return WorkItems(vertex_items=n_vert)
+
+    def _scatter(self, shard: Shard, count_full: bool) -> WorkItems:
+        if not self.program.has_scatter:
+            return WorkItems(edge_items=shard.num_out_edges if count_full else 0)
+        rows = self.frontier.changed_in(shard.start, shard.stop)
+        pos, seg = ragged_gather(shard.csr.indptr, rows - shard.start)
+        n_edges = shard.num_out_edges if count_full else len(pos)
+        if len(pos) == 0:
+            return WorkItems(edge_items=n_edges)
+        src_ids = (seg + shard.start).astype(shard.csr.indices.dtype)
+        eids = shard.csr.edge_ids[pos]
+        weights = None if shard.csr_weights is None else shard.csr_weights[pos]
+        states = None if self.edge_state is None else self.edge_state[eids]
+        new_states = self.program.scatter(
+            self.ctx, src_ids, self.vertex_values[src_ids], weights, states
+        )
+        if self.edge_state is not None:
+            self.edge_state[eids] = new_states
+        return WorkItems(edge_items=n_edges)
+
+    def _frontier_activate(self, shard: Shard, count_full: bool) -> WorkItems:
+        rows = self.frontier.changed_in(shard.start, shard.stop)
+        pos, _seg = ragged_gather(shard.csr.indptr, rows - shard.start)
+        n_edges = shard.num_out_edges if count_full else len(pos)
+        if len(pos):
+            self.frontier.activate_next(shard.csr.indices[pos])
+        return WorkItems(edge_items=n_edges)
+
+    # ------------------------------------------------------------------
+    # Vertex-centric phase
+    # ------------------------------------------------------------------
+    def _apply(self, shard: Shard, count_full: bool) -> WorkItems:
+        rows = self.frontier.active_in(shard.start, shard.stop)
+        n_vert = shard.num_interval_vertices if count_full else len(rows)
+        if len(rows) == 0:
+            return WorkItems(vertex_items=n_vert)
+        new_vals, changed = self.program.apply(
+            self.ctx,
+            rows,
+            self.vertex_values[rows],
+            self.gather_temp[rows],
+            self.gather_has[rows],
+            self.iteration,
+        )
+        changed = np.asarray(changed, dtype=bool)
+        if changed.shape != rows.shape:
+            raise ValueError(
+                f"{type(self.program).__name__}.apply returned a changed mask "
+                f"of shape {changed.shape}; expected {rows.shape}"
+            )
+        self.vertex_values[rows] = np.asarray(new_vals).astype(
+            self.program.vertex_dtype, copy=False
+        )
+        self.frontier.mark_changed(rows[changed])
+        return WorkItems(vertex_items=n_vert)

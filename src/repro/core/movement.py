@@ -1,0 +1,385 @@
+"""The Data Movement Engine (Sections 4.3 and 5.1).
+
+Owns the simulated device's streams and turns each phase of each
+iteration into asynchronous transfer + kernel schedules:
+
+* **Static Stream Creator** -- K long-lived streams process shards
+  round-robin, overlapping one shard's H2D with another's kernel
+  (compute-transfer) and concurrent sub-saturating kernels
+  (compute-compute). K comes from the paper's Equations (1)/(2):
+  ``K * (V/P) + K * B <= M`` with ``B = alpha*|E| + beta*|V|`` the
+  per-shard streaming-buffer footprint.
+* **Spray Stream Creator** -- a shard is many sub-arrays, each needing
+  its own deep copy; spraying them over dynamically created streams
+  overlaps the per-``cudaMemcpyAsync`` driver setup with in-flight DMA
+  and keeps the hardware queues busy (Figure 11(b)).
+* **Double buffering** falls out of K >= 2 staged shard slots.
+* Buffer characterization (Section 3.2): resident read-only buffers are
+  uploaded once and never copied back; mutable streamed buffers are the
+  only D2H traffic.
+
+In the *unoptimized* configuration everything collapses to one stream
+with synchronous full-shard copies -- the Figure 15 baseline.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.compute import WorkItems
+from repro.core.fusion import PhaseGroup
+from repro.core.partition import Shard, ShardedGraph
+from repro.sim.device import GPUDevice
+from repro.sim.resources import FluidResource
+from repro.sim.stream import Kernel, Memcpy, ResourceOp, StreamEvent
+
+
+@dataclass
+class MovementConfig:
+    """Optimization switches (each is one Section-5 technique)."""
+
+    async_streams: bool = True  # K > 1 streams, asynchronous execution
+    spray: bool = True          # per-sub-array deep copies on spray streams
+    max_concurrent_shards: int = 32  # the paper's K <= 32 bound on Kepler
+
+
+@dataclass
+class MovementStats:
+    """Counters the benchmarks report (Figure 15's memcpy accounting
+
+    comes from the device trace; these are structural counts)."""
+
+    h2d_count: int = 0
+    d2h_count: int = 0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    kernel_launches: int = 0
+    kernel_items: int = 0
+    shards_processed: int = 0
+    shards_skipped: int = 0
+    phase_barriers: int = 0
+    per_group_bytes: dict = field(default_factory=dict)
+
+
+def optimal_concurrent_shards(
+    device_memory: int,
+    resident_bytes: int,
+    interval_bytes: int,
+    shard_bytes: int,
+    num_partitions: int,
+    hardware_limit: int = 32,
+) -> int:
+    """Equations (1)/(2): the number of concurrently staged shards.
+
+    ``K * (V/P) + K * B <= M_available`` where ``B`` is the streaming
+    buffer size of the largest shard and ``V/P`` its interval's share of
+    vertex-indexed staging. Clamped to [1, min(P, hardware_limit)].
+    """
+    avail = device_memory - resident_bytes
+    per_slot = interval_bytes + shard_bytes
+    if per_slot <= 0:
+        return min(num_partitions, hardware_limit) or 1
+    k = avail // per_slot
+    return int(max(1, min(k, num_partitions, hardware_limit)))
+
+
+class DataMovementEngine:
+    """Schedules shard movement and kernels on the simulated device."""
+
+    def __init__(
+        self,
+        device: GPUDevice,
+        sharded: ShardedGraph,
+        config: MovementConfig,
+        with_weights: bool,
+        with_edge_state: bool,
+    ):
+        self.device = device
+        self.sharded = sharded
+        self.config = config
+        self.with_weights = with_weights
+        self.with_edge_state = with_edge_state
+        #: SSD backing: (shared FluidResource, spilled fraction of every
+        #: host read) or None when the graph fits host DRAM.
+        self.ssd: tuple[FluidResource, float] | None = None
+        self.stats = MovementStats()
+        self._resident_named: list[str] = []
+        self._cached = False  # all shards resident (in-memory mode)
+        self._lru: "OrderedDict[int, int] | None" = None  # shard -> bytes
+        self._lru_touch: dict[int, int] = {}  # shard -> last iteration
+        self.current_iteration = 0
+
+        max_shard = sharded.max_shard_bytes(with_weights, with_edge_state)
+        max_interval = max(
+            (s.num_interval_vertices for s in sharded.shards), default=0
+        )
+        self._max_shard_bytes = max_shard
+        self._interval_bytes = max_interval * 4  # staged vertex-update slice
+
+        if config.async_streams:
+            self.k = optimal_concurrent_shards(
+                device.memory.capacity,
+                0,  # residents are allocated before stage_slots reserves
+                self._interval_bytes,
+                max_shard,
+                sharded.num_partitions,
+                config.max_concurrent_shards,
+            )
+        else:
+            self.k = 1
+        self.streams = [device.create_stream(f"shard{i}") for i in range(self.k)]
+        # Spray streams are created dynamically per main stream on use.
+        self._spray_pools: list[list] = [[] for _ in range(self.k)]
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def upload_resident(self, buffers: dict[str, int]) -> None:
+        """Allocate + one-time H2D of the static buffers (vertex values,
+
+        gather temp, frontier flags...). Static buffers stay on device
+        for the lifetime of the execution (Section 3.2).
+        """
+        stream = self.streams[0]
+        for name, nbytes in buffers.items():
+            self.device.memory.alloc(f"resident:{name}", nbytes)
+            self._resident_named.append(f"resident:{name}")
+            stream.memcpy_h2d(nbytes, label=f"resident:{name}")
+            self.stats.h2d_count += 1
+            self.stats.h2d_bytes += nbytes
+        self.device.synchronize()
+
+    def reserve_stage_slots(self) -> int:
+        """Reserve K staging slots of max-shard size; shrinks K when the
+
+        device is too full (re-deriving Eq. (1) against what is left
+        after residents). Returns the final K.
+        """
+        while self.k > 1:
+            need = self.k * (self._max_shard_bytes + self._interval_bytes)
+            if need <= self.device.memory.free_bytes:
+                break
+            self.k -= 1
+        for i in range(self.k):
+            self.device.memory.alloc(
+                f"stage:{i}", self._max_shard_bytes + self._interval_bytes
+            )
+        self.streams = self.streams[: self.k]
+        self._spray_pools = self._spray_pools[: self.k]
+        return self.k
+
+    def cache_all_shards(self) -> bool:
+        """In-memory mode: upload every shard once; later phases launch
+
+        kernels with no per-iteration PCIe traffic. Returns False (and
+        uploads nothing) when the shards do not all fit.
+        """
+        total = sum(
+            s.total_bytes(self.with_weights, self.with_edge_state)
+            for s in self.sharded.shards
+        )
+        if total > self.device.memory.free_bytes:
+            return False
+        stream_i = 0
+        for shard in self.sharded.shards:
+            nbytes = shard.total_bytes(self.with_weights, self.with_edge_state)
+            self.device.memory.alloc(f"shardcache:{shard.index}", nbytes)
+            self._issue_copies(
+                self.streams[stream_i % self.k],
+                stream_i % self.k,
+                shard.sub_array_bytes(self.with_weights, self.with_edge_state),
+                "h2d",
+                f"cache:{shard.index}",
+            )
+            stream_i += 1
+        self.device.synchronize()
+        self._cached = True
+        return True
+
+    @property
+    def cached(self) -> bool:
+        return self._cached
+
+    def enable_lru_cache(self) -> None:
+        """Partial shard caching (extension beyond the paper): whatever
+
+        device memory is left after residents and staging slots becomes
+        an LRU cache of whole shards. Useful for graphs that *almost*
+        fit -- the paper's all-or-nothing regimes leave that memory idle.
+        """
+        self._lru = OrderedDict()
+
+    def _lru_acquire(self, shard: Shard, stream, stream_i: int) -> bool:
+        """Make the shard device-resident through the LRU cache.
+
+        Hit: nothing moves. Miss with room (possibly after evicting cold
+        shards): the *whole* shard uploads once on the shard's stream --
+        later phases and iterations then skip all transfers. Miss with
+        no room even after eviction: returns False and the caller
+        streams this phase's buffers normally.
+        """
+        if self._lru is None:
+            return False
+        if shard.index in self._lru:
+            self._lru.move_to_end(shard.index)
+            self._lru_touch[shard.index] = self.current_iteration
+            self.stats.cache_hits += 1
+            return True
+        self.stats.cache_misses += 1
+        nbytes = shard.total_bytes(self.with_weights, self.with_edge_state)
+        # Evict only *cold* shards (untouched for two iterations, i.e.
+        # the frontier genuinely moved away). Evicting recently used
+        # entries to admit new ones would thrash on cyclic access --
+        # full-shard uploads every phase instead of the smaller
+        # per-phase buffers -- so a hot working set larger than the
+        # cache keeps its cached prefix and streams the rest.
+        while self._lru and self.device.memory.free_bytes < nbytes:
+            oldest = next(iter(self._lru))
+            if self._lru_touch.get(oldest, -1) >= self.current_iteration - 1:
+                return False
+            self._lru.popitem(last=False)
+            self._lru_touch.pop(oldest, None)
+            self.device.memory.free(f"lru:{oldest}")
+            self.stats.cache_evictions += 1
+        if self.device.memory.free_bytes < nbytes:
+            return False
+        self.device.memory.alloc(f"lru:{shard.index}", nbytes)
+        self._lru[shard.index] = nbytes
+        self._lru_touch[shard.index] = self.current_iteration
+        self._issue_copies(
+            stream,
+            stream_i,
+            shard.sub_array_bytes(self.with_weights, self.with_edge_state),
+            "h2d",
+            f"lrufill:{shard.index}",
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase execution
+    # ------------------------------------------------------------------
+    def run_phase(
+        self,
+        group: PhaseGroup,
+        shards: list[Shard],
+        skipped: int,
+        compute,  # Callable[[Shard], WorkItems]
+        barrier: bool = True,
+    ) -> None:
+        """Stream the selected shards through the phase, then barrier.
+
+        ``compute`` runs the actual NumPy work eagerly (shard results
+        within one phase are independent, so host-side order does not
+        matter); the simulator accounts for when the transfers and the
+        kernel would have executed.
+        """
+        self.stats.shards_skipped += skipped
+        for i, shard in enumerate(shards):
+            stream_i = i % self.k
+            stream = self.streams[stream_i]
+            work = compute(shard)
+            resident = self._cached or self._lru_acquire(shard, stream, stream_i)
+            if not resident:
+                h2d = shard.expand_buffers(
+                    group.h2d_buffers, self.with_weights, self.with_edge_state
+                )
+                self._issue_copies(stream, stream_i, h2d, "h2d", f"{group.name}:{shard.index}")
+            self._issue_kernel(stream, group, shard, work)
+            if not resident:
+                d2h = shard.expand_buffers(
+                    group.d2h_buffers, self.with_weights, self.with_edge_state
+                )
+                self._issue_copies(stream, stream_i, d2h, "d2h", f"{group.name}:{shard.index}")
+            self.stats.shards_processed += 1
+            if not self.config.async_streams:
+                self.device.synchronize()  # fully synchronous baseline
+        if barrier:
+            # BSP barrier between phases. Multi-device callers pass
+            # barrier=False, issue every device's work, then synchronize
+            # all devices so per-device phases overlap.
+            self.device.synchronize()
+            self.stats.phase_barriers += 1
+
+    def iteration_sync(self, frontier_bytes: int) -> None:
+        """Per-iteration frontier copy-back (tiny, vertex-bitmap sized)."""
+        self.streams[0].memcpy_d2h(frontier_bytes, label="frontier")
+        self.stats.d2h_count += 1
+        self.stats.d2h_bytes += frontier_bytes
+        self.device.synchronize()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _issue_copies(self, stream, stream_i: int, buffers: dict[str, int], direction: str, label: str) -> None:
+        buffers = {k: v for k, v in buffers.items() if v > 0}
+        if not buffers:
+            return
+        if direction == "h2d":
+            self.stats.h2d_count += len(buffers)
+            self.stats.h2d_bytes += sum(buffers.values())
+        else:
+            self.stats.d2h_count += len(buffers)
+            self.stats.d2h_bytes += sum(buffers.values())
+        agg = self.stats.per_group_bytes
+        agg[label.split(":")[0]] = agg.get(label.split(":")[0], 0) + sum(buffers.values())
+        def ssd_fetch(target_stream, name: str, nbytes: int) -> None:
+            """The spilled fraction of a host buffer lives on flash;
+
+            fetch it (contending with every other stream's reads) on the
+            same stream, so the DMA cannot start before the read lands."""
+            if self.ssd is None or direction != "h2d":
+                return
+            resource, spill = self.ssd
+            if spill > 0:
+                target_stream.enqueue(
+                    ResourceOp(resource, nbytes * spill, label=f"ssd:{label}:{name}")
+                )
+
+        if self.config.spray and len(buffers) > 1:
+            # Deep copies sprayed over dynamically created streams; the
+            # issuing stream joins them via events (Figure 11(b)). D2H
+            # sprays additionally gate on the issuing stream (the kernel
+            # must finish before results copy back).
+            pool = self._spray_pools[stream_i]
+            gate = None
+            if direction == "d2h":
+                gate = StreamEvent(f"{label}:gate")
+                stream.record_event(gate)
+            joins = []
+            for j, (name, nbytes) in enumerate(buffers.items()):
+                while j >= len(pool):
+                    pool.append(self.device.create_stream(f"spray{stream_i}.{len(pool)}"))
+                ev = StreamEvent(f"{label}:{name}")
+                if gate is not None:
+                    pool[j].wait_event(gate)
+                ssd_fetch(pool[j], name, nbytes)
+                pool[j].enqueue(Memcpy(nbytes, direction, f"{label}:{name}"))
+                pool[j].record_event(ev)
+                joins.append(ev)
+            for ev in joins:
+                stream.wait_event(ev)
+        else:
+            for name, nbytes in buffers.items():
+                ssd_fetch(stream, name, nbytes)
+                stream.enqueue(Memcpy(nbytes, direction, f"{label}:{name}"))
+
+    def _issue_kernel(self, stream, group: PhaseGroup, shard: Shard, work: WorkItems) -> None:
+        spec = self.device.spec
+        seconds = (
+            work.edge_items / spec.edge_rate_seq
+            + work.vertex_items / spec.vertex_rate
+        )
+        stream.enqueue(
+            Kernel(
+                items=work.total,
+                kind="edge_seq",
+                label=f"{group.name}:{shard.index}",
+                work_seconds=seconds,
+            )
+        )
+        self.stats.kernel_launches += 1
+        self.stats.kernel_items += work.total

@@ -1,0 +1,176 @@
+"""Multi-GPU GraphReduce (the paper's future work, Section 8 item 1).
+
+Scales the single-device engine to N accelerators on one host: shards
+are distributed round-robin across devices, each device owns its shards
+for every phase of every iteration (so edge data never migrates), and
+the resident vertex arrays are *replicated* -- after each iteration the
+devices exchange their changed vertex values and frontier flags through
+host memory (an all-gather over PCIe), which is the standard replicated-
+vertex design for multi-GPU GAS systems of that era.
+
+Each device has its own PCIe copy engines (as on dual-socket boards with
+one switch per device), so shard streaming scales; the replication
+all-gather is the part that does not, which is exactly the scaling
+behaviour the ablation benchmark shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import GASProgram
+from repro.core.compute import ComputeEngine
+from repro.core.frontier import FrontierManager
+from repro.core.fusion import build_plan
+from repro.core.movement import DataMovementEngine, MovementConfig
+from repro.core.partition import PartitionEngine
+from repro.core.runtime import GraphReduce, GraphReduceOptions, RuntimeContext
+from repro.graph.edgelist import EdgeList
+from repro.sim.device import GPUDevice
+from repro.sim.engine import Simulator
+from repro.sim.specs import MachineSpec, default_machine
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class MultiGPUResult:
+    vertex_values: np.ndarray
+    iterations: int
+    converged: bool
+    sim_time: float
+    num_devices: int
+    num_partitions: int
+    #: summed transfer time across all devices
+    memcpy_time: float
+    #: per-iteration vertex-replication traffic, bytes
+    replication_bytes: int
+
+
+class MultiGPUGraphReduce:
+    """GraphReduce across ``num_devices`` simulated accelerators."""
+
+    def __init__(
+        self,
+        edges: EdgeList,
+        num_devices: int = 2,
+        machine: MachineSpec | None = None,
+        options: GraphReduceOptions | None = None,
+    ):
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices!r}")
+        self.edges = edges
+        self.num_devices = num_devices
+        self.machine = machine or default_machine()
+        self.options = options or GraphReduceOptions()
+
+    def run(self, program: GASProgram, max_iterations: int | None = None) -> MultiGPUResult:
+        opts = self.options
+        program.validate()
+        edges = self.edges
+        if program.needs_weights and edges.weights is None:
+            edges = edges.with_unit_weights()
+        ctx = RuntimeContext(edges)
+        with_weights = program.needs_weights
+        with_state = program.edge_dtype is not None
+
+        resident_bytes = GraphReduce._resident_bytes(program, edges.num_vertices)
+        p_per_device = opts.num_partitions or PartitionEngine.choose_num_partitions(
+            edges,
+            self.machine.device.memory_bytes,
+            with_weights,
+            with_state,
+            resident_bytes,
+        )
+        # At least one shard per device.
+        p = max(p_per_device, self.num_devices)
+        sharded = PartitionEngine().partition(edges, p, opts.partition_logic)
+
+        sim = Simulator()
+        devices = [
+            GPUDevice(sim, self.machine.device, TraceRecorder())
+            for _ in range(self.num_devices)
+        ]
+        movements = [
+            DataMovementEngine(
+                dev,
+                sharded,
+                MovementConfig(async_streams=opts.async_streams, spray=opts.spray),
+                with_weights,
+                with_state,
+            )
+            for dev in devices
+        ]
+        resident = GraphReduce._resident_buffers(program, edges.num_vertices)
+        for movement in movements:
+            movement.upload_resident(resident)  # replicated vertex arrays
+            movement.reserve_stage_slots()
+
+        frontier = FrontierManager(
+            sharded, np.asarray(program.init_frontier(ctx), dtype=bool)
+        )
+        compute = ComputeEngine(sharded, program, ctx, frontier)
+        plan = build_plan(program, optimized=opts.fusion, fuse_gather=opts.fuse_gather)
+
+        owner = {s.index: s.index % self.num_devices for s in sharded.shards}
+        limit = max_iterations if max_iterations is not None else opts.max_iterations
+        # Replication payload: changed vertex values + frontier bitmap,
+        # exchanged D2H then H2D on the N-1 other devices.
+        vdt = np.dtype(program.vertex_dtype).itemsize
+        frontier_bytes = edges.num_vertices // 8 + 1
+        replication_bytes = 0
+        converged = False
+        iteration = 0
+        while iteration < limit:
+            if frontier.size == 0:
+                converged = True
+                break
+            if program.converged(ctx, iteration, frontier.size):
+                converged = True
+                break
+            compute.begin_iteration(iteration)
+            for group in plan:
+                shards, skipped = GraphReduce._select_shards(group, sharded, frontier, opts)
+                per_device: list[list] = [[] for _ in range(self.num_devices)]
+                for shard in shards:
+                    per_device[owner[shard.index]].append(shard)
+                for d, dev_shards in enumerate(per_device):
+                    movements[d].run_phase(
+                        group,
+                        dev_shards,
+                        skipped if d == 0 else 0,
+                        lambda shard, g=group: compute.run_group(
+                            g.phases, shard, count_full=not opts.frontier_skipping
+                        ),
+                        barrier=False,  # devices proceed concurrently
+                    )
+                for dev in devices:
+                    dev.synchronize()  # BSP barrier across all devices
+            # Vertex replication: every device publishes its intervals'
+            # changed values; every other device ingests them.
+            changed = int(frontier.changed.sum())
+            payload = changed * vdt + frontier_bytes
+            for d, movement in enumerate(movements):
+                movement.streams[0].memcpy_d2h(payload, label="replicate-out")
+                for other, m2 in enumerate(movements):
+                    if other != d:
+                        m2.streams[0].memcpy_h2d(payload, label="replicate-in")
+            for dev in devices:
+                dev.synchronize()
+            replication_bytes += payload * self.num_devices * self.num_devices
+            frontier.advance()
+            iteration += 1
+        else:
+            converged = frontier.size == 0
+
+        return MultiGPUResult(
+            vertex_values=compute.vertex_values,
+            iterations=iteration,
+            converged=converged,
+            sim_time=sim.now,
+            num_devices=self.num_devices,
+            num_partitions=sharded.num_partitions,
+            memcpy_time=sum(d.trace.memcpy_time() for d in devices),
+            replication_bytes=replication_bytes,
+        )

@@ -1,0 +1,367 @@
+"""The GraphReduce runtime: the iteration driver of Figure 12.
+
+Ties the engines together: the Partition Engine shards the input, the
+Phase Fusion Engine builds the iteration's phase plan, and each phase
+streams its active shards through the Data Movement Engine while the
+Compute Engine executes the user's device functions. Phases are
+bulk-synchronous (the next phase starts only when the previous completed
+across all shards); within a phase, shards overlap freely.
+
+Every Section-5 optimization is an independent switch on
+:class:`GraphReduceOptions` so the Figure-15 ablation can toggle them:
+
+* ``async_streams`` / ``spray`` -- asynchronous execution and the spray
+  operation (Section 5.1),
+* ``frontier_skipping`` -- dynamic frontier management (Section 5.2),
+* ``fusion`` -- dynamic phase fusion/elimination (Section 5.3).
+
+``GraphReduceOptions.unoptimized()`` is the paper's baseline
+configuration; the default is everything on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.api import GASProgram
+from repro.core.compute import ComputeEngine
+from repro.core.frontier import FrontierManager
+from repro.core.fusion import PhaseGroup, build_async_plan, build_plan
+from repro.core.movement import DataMovementEngine, MovementConfig, MovementStats
+from repro.core.partition import PartitionEngine, ShardedGraph
+from repro.graph.edgelist import EdgeList
+from repro.sim.device import GPUDevice
+from repro.sim.engine import Simulator
+from repro.sim.specs import MachineSpec, default_machine
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class GraphReduceOptions:
+    """Runtime configuration; defaults are the fully optimized GR."""
+
+    num_partitions: int | None = None  # None -> Section 4.2 auto choice
+    partition_logic: str = "edge_balanced"
+    async_streams: bool = True
+    spray: bool = True
+    frontier_skipping: bool = True
+    fusion: bool = True
+    #: extension beyond the paper: fuse gatherMap+gatherReduce so the
+    #: edge update array stays on-device (see fusion.build_plan)
+    fuse_gather: bool = False
+    #: 'bsp' (the paper's model: phase barriers across all shards) or
+    #: 'async' (Section 2.1's variant: one fused sweep per iteration in
+    #: which later shards see earlier shards' same-sweep updates --
+    #: fewer sweeps for monotone programs, Gauss-Seidel for PageRank)
+    execution_mode: str = "bsp"
+    #: 'auto': keep all shards resident when the graph's *canonical*
+    #: footprint (Table 1's accounting, all buffer kinds) fits -- the
+    #: Table-4 in-memory mode; 'never': always stream (the Table-3
+    #: regime); 'greedy': cache whenever this program's actual buffers
+    #: fit, even if the canonical footprint does not (an extension
+    #: beyond the paper: e.g. BFS needs no edge values, so kron21's
+    #: topology alone fits the K20c); 'lru': stream, but keep as many
+    #: whole shards resident as leftover memory allows, evicting the
+    #: least recently touched (extension for almost-fitting graphs).
+    cache_policy: str = "auto"
+    #: 'dram' keeps the whole graph in host memory (the paper's Table-3
+    #: setting); 'ssd' backs the host with simulated flash storage so
+    #: graphs larger than host DRAM stream from disk (future work,
+    #: Section 8 item 2). The spilled fraction of every shard read pays
+    #: an SSD pass before crossing PCIe.
+    host_backing: str = "dram"
+    max_iterations: int = 100_000
+    trace: bool = True
+
+    @staticmethod
+    def unoptimized() -> "GraphReduceOptions":
+        """The Figure-15 baseline: synchronous single-stream execution,
+
+        full-shard movement every phase, no fusion, no frontier skips."""
+        return GraphReduceOptions(
+            async_streams=False,
+            spray=False,
+            frontier_skipping=False,
+            fusion=False,
+            cache_policy="never",
+        )
+
+    def replace(self, **kw) -> "GraphReduceOptions":
+        return replace(self, **kw)
+
+
+class RuntimeContext:
+    """Graph-level read-only state exposed to user device functions."""
+
+    def __init__(self, edges: EdgeList):
+        self.num_vertices = edges.num_vertices
+        self.num_edges = edges.num_edges
+        self._edges = edges
+        self._out_degrees: np.ndarray | None = None
+        self._in_degrees: np.ndarray | None = None
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        if self._out_degrees is None:
+            self._out_degrees = self._edges.out_degrees()
+        return self._out_degrees
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        if self._in_degrees is None:
+            self._in_degrees = self._edges.in_degrees()
+        return self._in_degrees
+
+
+@dataclass(frozen=True)
+class IterationStat:
+    """Per-iteration accounting (the Figure-3/16 views plus traffic)."""
+
+    iteration: int
+    frontier_size: int
+    h2d_bytes: int
+    d2h_bytes: int
+    sim_seconds: float
+    shards_processed: int
+    shards_skipped: int
+
+
+@dataclass
+class GraphReduceResult:
+    """Output values plus the simulated performance accounting."""
+
+    vertex_values: np.ndarray
+    iterations: int
+    converged: bool
+    #: simulated wall time of the whole run, seconds
+    sim_time: float
+    #: summed transfer durations, both directions (Figure 15's metric)
+    memcpy_time: float
+    #: summed kernel durations
+    kernel_time: float
+    #: time during which at least one transfer was in flight
+    memcpy_busy_span: float
+    stats: MovementStats
+    frontier_history: list[int]
+    #: True when every shard stayed resident (Table-4 in-memory mode)
+    in_memory_mode: bool
+    num_partitions: int
+    concurrent_shards: int
+    edge_state: np.ndarray | None = None
+    #: full device trace (intervals) for energy/overlap analysis
+    trace: "TraceRecorder | None" = None
+    #: per-iteration frontier/traffic/time breakdown
+    iteration_stats: list[IterationStat] = field(default_factory=list)
+
+    @property
+    def memcpy_fraction(self) -> float:
+        """Share of execution occupied by transfers (paper: >95% for the
+
+        large graphs). Uses the busy span so overlap is not
+        double-counted."""
+        return self.memcpy_busy_span / self.sim_time if self.sim_time > 0 else 0.0
+
+
+class GraphReduce:
+    """One GraphReduce execution context over a fixed input graph.
+
+    >>> from repro.graph.generators import path_graph
+    >>> from repro.algorithms.bfs import BFS
+    >>> engine = GraphReduce(path_graph(4))
+    >>> result = engine.run(BFS(source=0))
+    >>> result.vertex_values.tolist()
+    [0.0, 1.0, 2.0, 3.0]
+    """
+
+    def __init__(
+        self,
+        edges: EdgeList,
+        machine: MachineSpec | None = None,
+        options: GraphReduceOptions | None = None,
+        partition_engine: PartitionEngine | None = None,
+    ):
+        self.edges = edges
+        self.machine = machine or default_machine()
+        self.options = options or GraphReduceOptions()
+        self.partition_engine = partition_engine or PartitionEngine()
+        self._sharded_cache: dict[tuple, ShardedGraph] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, program: GASProgram, max_iterations: int | None = None) -> GraphReduceResult:
+        """Execute ``program`` to convergence on the simulated machine."""
+        opts = self.options
+        program.validate()
+        edges = self.edges
+        if program.needs_weights and edges.weights is None:
+            edges = edges.with_unit_weights()
+        ctx = RuntimeContext(edges)
+
+        # --- Partition Engine -----------------------------------------
+        with_weights = program.needs_weights
+        with_state = program.edge_dtype is not None
+        resident_bytes = self._resident_bytes(program, edges.num_vertices)
+        p = opts.num_partitions or PartitionEngine.choose_num_partitions(
+            edges,
+            self.machine.device.memory_bytes,
+            with_weights,
+            with_state,
+            resident_bytes,
+        )
+        key = (p, opts.partition_logic, with_weights, id(edges))
+        sharded = self._sharded_cache.get(key)
+        if sharded is None:
+            sharded = self.partition_engine.partition(edges, p, opts.partition_logic)
+            self._sharded_cache[key] = sharded
+
+        # --- Simulated device -----------------------------------------
+        sim = Simulator()
+        device = GPUDevice(sim, self.machine.device, TraceRecorder(enabled=opts.trace))
+        movement = DataMovementEngine(
+            device,
+            sharded,
+            MovementConfig(async_streams=opts.async_streams, spray=opts.spray),
+            with_weights,
+            with_state,
+        )
+        if opts.host_backing == "ssd":
+            from repro.sim.resources import FluidResource
+
+            host = self.machine.host
+            graph_host_bytes = sum(
+                s.total_bytes(with_weights, with_state) for s in sharded.shards
+            ) + resident_bytes
+            spill = max(0.0, 1.0 - host.memory_bytes / max(graph_host_bytes, 1))
+            ssd = FluidResource(
+                sim, host.ssd_bandwidth, max_concurrent=host.ssd_queue_depth, name="ssd"
+            )
+            movement.ssd = (ssd, spill)
+        elif opts.host_backing != "dram":
+            raise ValueError(f"unknown host_backing {opts.host_backing!r}")
+        movement.upload_resident(self._resident_buffers(program, edges.num_vertices))
+        in_memory = False
+        if opts.cache_policy == "auto":
+            from repro.graph.properties import footprint_bytes
+
+            if footprint_bytes(edges) <= self.machine.device.memory_bytes:
+                in_memory = movement.cache_all_shards()
+        elif opts.cache_policy == "greedy":
+            in_memory = movement.cache_all_shards()
+        elif opts.cache_policy not in ("never", "lru"):
+            raise ValueError(f"unknown cache_policy {opts.cache_policy!r}")
+        if not in_memory:
+            movement.reserve_stage_slots()
+            if opts.cache_policy == "lru":
+                movement.enable_lru_cache()
+
+        # --- Compute side ----------------------------------------------
+        frontier = FrontierManager(sharded, np.asarray(program.init_frontier(ctx), dtype=bool))
+        compute = ComputeEngine(sharded, program, ctx, frontier)
+        if opts.execution_mode == "async":
+            plan = build_async_plan(program)
+        elif opts.execution_mode == "bsp":
+            plan = build_plan(program, optimized=opts.fusion, fuse_gather=opts.fuse_gather)
+        else:
+            raise ValueError(f"unknown execution_mode {opts.execution_mode!r}")
+
+        # --- Iterations -------------------------------------------------
+        limit = max_iterations if max_iterations is not None else opts.max_iterations
+        converged = False
+        iteration = 0
+        frontier_bytes = edges.num_vertices // 8 + 1
+        iteration_stats: list[IterationStat] = []
+        while iteration < limit:
+            if program.always_active:
+                frontier.current[:] = True
+            if frontier.size == 0:
+                converged = True
+                break
+            if program.converged(ctx, iteration, frontier.size):
+                converged = True
+                break
+            frontier_size = frontier.size
+            t0 = sim.now
+            h2d0, d2h0 = movement.stats.h2d_bytes, movement.stats.d2h_bytes
+            proc0, skip0 = movement.stats.shards_processed, movement.stats.shards_skipped
+            compute.begin_iteration(iteration)
+            movement.current_iteration = iteration
+            for group in plan:
+                shards, skipped = self._select_shards(group, sharded, frontier, opts)
+                movement.run_phase(
+                    group,
+                    shards,
+                    skipped,
+                    lambda shard, g=group: compute.run_group(
+                        g.phases, shard, count_full=not opts.frontier_skipping
+                    ),
+                )
+            movement.iteration_sync(frontier_bytes)
+            iteration_stats.append(
+                IterationStat(
+                    iteration=iteration,
+                    frontier_size=frontier_size,
+                    h2d_bytes=movement.stats.h2d_bytes - h2d0,
+                    d2h_bytes=movement.stats.d2h_bytes - d2h0,
+                    sim_seconds=sim.now - t0,
+                    shards_processed=movement.stats.shards_processed - proc0,
+                    shards_skipped=movement.stats.shards_skipped - skip0,
+                )
+            )
+            frontier.advance()
+            iteration += 1
+        else:
+            converged = frontier.size == 0
+
+        trace = device.trace
+        return GraphReduceResult(
+            vertex_values=compute.vertex_values,
+            iterations=iteration,
+            converged=converged,
+            sim_time=sim.now,
+            memcpy_time=trace.memcpy_time(),
+            kernel_time=trace.kernel_time(),
+            memcpy_busy_span=trace.busy_span("h2d", "d2h"),
+            stats=movement.stats,
+            frontier_history=frontier.history,
+            in_memory_mode=in_memory,
+            num_partitions=sharded.num_partitions,
+            concurrent_shards=movement.k,
+            edge_state=compute.edge_state,
+            trace=trace,
+            iteration_stats=iteration_stats,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _select_shards(
+        group: PhaseGroup,
+        sharded: ShardedGraph,
+        frontier: FrontierManager,
+        opts: GraphReduceOptions,
+    ):
+        """Shard work list for one phase (+ how many were skipped)."""
+        if not opts.frontier_skipping or group.selector == "all":
+            return list(sharded.shards), 0
+        if group.selector == "active":
+            ids = frontier.active_shards()
+        else:
+            ids = frontier.changed_shards()
+        shards = [sharded.shards[i] for i in ids]
+        return shards, sharded.num_partitions - len(shards)
+
+    @staticmethod
+    def _resident_buffers(program: GASProgram, n: int) -> dict[str, int]:
+        """Static buffers (Section 3.2): uploaded once, device-resident."""
+        vdt = np.dtype(program.vertex_dtype).itemsize
+        gdt = np.dtype(program.gather_dtype).itemsize
+        return {
+            "vertex_values": n * vdt,
+            "vertex_update_array": n * gdt,  # the gather result, V-sized
+            "frontier_flags": 3 * (n // 8 + 1),  # current/next/changed bitmaps
+            "degrees": n * 4,
+        }
+
+    @classmethod
+    def _resident_bytes(cls, program: GASProgram, n: int) -> int:
+        return sum(cls._resident_buffers(program, n).values())

@@ -1,0 +1,37 @@
+"""Graph data structures, generators and the Table-1 dataset registry.
+
+This package is the graph substrate beneath GraphReduce and the baseline
+frameworks:
+
+* :mod:`repro.graph.edgelist` -- COO edge lists with validation and
+  undirected symmetrization (the paper stores undirected inputs as pairs
+  of directed edges).
+* :mod:`repro.graph.csr` -- CSR/CSC adjacency with vectorized builders
+  and the ragged-gather helper used by frontier-restricted phases.
+* :mod:`repro.graph.generators` -- synthetic generators for the graph
+  families in Table 1 (RMAT/Kronecker, 3D meshes, banded matrices, web
+  crawls, social and road networks, Delaunay triangulations).
+* :mod:`repro.graph.datasets` -- named stand-ins for the paper's ten
+  evaluation graphs (plus delaunay_n13 from Table 2), scaled per
+  DESIGN.md so the in-memory / out-of-memory split matches.
+* :mod:`repro.graph.io` -- edge-list text, NPZ and MatrixMarket I/O.
+* :mod:`repro.graph.properties` -- degree statistics, connectivity and
+  the in-memory footprint accounting used for Table 1.
+"""
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.csr import CSR, build_csr, build_csc, ragged_gather
+from repro.graph.datasets import DATASETS, DatasetInfo, load_dataset
+from repro.graph.properties import footprint_bytes
+
+__all__ = [
+    "EdgeList",
+    "CSR",
+    "build_csr",
+    "build_csc",
+    "ragged_gather",
+    "DATASETS",
+    "DatasetInfo",
+    "load_dataset",
+    "footprint_bytes",
+]

@@ -1,0 +1,142 @@
+"""Dynamically evolving graphs (the paper's future work, Section 8
+
+item 3). Two pieces:
+
+* :class:`DynamicGraphStream` -- an initial snapshot plus timestamped
+  batches of edge insertions (the common evolving-graph model for social
+  networks and crawls: edges arrive, rarely leave).
+* :func:`incremental_program` -- a warm-start wrapper for *monotone* GAS
+  programs. With insert-only updates, any program whose apply only ever
+  moves vertex values in one direction under a min/max reduce (BFS
+  depths, SSSP distances, CC labels, widest paths) can resume from the
+  previous snapshot's values with a frontier seeded at the new edges'
+  endpoints, converging to exactly the from-scratch answer in far fewer
+  iterations -- the property the test suite asserts.
+
+PageRank is *not* monotone; for it the stream simply reruns from
+scratch per snapshot (the wrapper refuses non-monotone reduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.api import GASProgram
+from repro.graph.edgelist import EdgeList, VID_DTYPE, WEIGHT_DTYPE
+
+
+@dataclass
+class EdgeBatch:
+    """One insertion batch."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.src = np.ascontiguousarray(self.src, dtype=VID_DTYPE)
+        self.dst = np.ascontiguousarray(self.dst, dtype=VID_DTYPE)
+        if self.src.shape != self.dst.shape:
+            raise ValueError("batch src/dst shapes differ")
+        if self.weights is not None:
+            self.weights = np.ascontiguousarray(self.weights, dtype=WEIGHT_DTYPE)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.shape[0])
+
+    def touched_vertices(self) -> np.ndarray:
+        return np.unique(np.concatenate([self.src, self.dst]))
+
+
+class DynamicGraphStream:
+    """An evolving graph: snapshot 0 plus insertion batches."""
+
+    def __init__(self, initial: EdgeList, batches: list[EdgeBatch] | None = None):
+        self.initial = initial
+        self.batches: list[EdgeBatch] = list(batches or [])
+
+    def append(self, batch: EdgeBatch) -> None:
+        n = self.initial.num_vertices
+        if batch.num_edges:
+            hi = max(batch.src.max(), batch.dst.max())
+            if hi >= n:
+                raise ValueError(
+                    f"batch endpoint {hi} outside the vertex set [0, {n})"
+                )
+        self.batches.append(batch)
+
+    def snapshot(self, upto: int) -> EdgeList:
+        """The graph after applying the first ``upto`` batches."""
+        if not 0 <= upto <= len(self.batches):
+            raise IndexError(f"snapshot {upto} of {len(self.batches)} batches")
+        parts_s = [self.initial.src]
+        parts_d = [self.initial.dst]
+        parts_w = [self.initial.weights] if self.initial.weights is not None else None
+        for batch in self.batches[:upto]:
+            parts_s.append(batch.src)
+            parts_d.append(batch.dst)
+            if parts_w is not None:
+                if batch.weights is None:
+                    raise ValueError("weighted stream requires weighted batches")
+                parts_w.append(batch.weights)
+        out = EdgeList(
+            self.initial.num_vertices,
+            np.concatenate(parts_s),
+            np.concatenate(parts_d),
+            None if parts_w is None else np.concatenate(parts_w),
+            undirected=False,
+            name=f"{self.initial.name}@{upto}",
+        )
+        return out.deduplicated()
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+
+#: Reduces under which insert-only warm starts are exact.
+MONOTONE_REDUCES = (np.minimum, np.maximum)
+
+
+def incremental_program(
+    base: GASProgram,
+    previous_values: np.ndarray,
+    batch: EdgeBatch,
+) -> GASProgram:
+    """Warm-start ``base`` from a previous snapshot's converged values.
+
+    Only valid for monotone min/max programs under insertions (values
+    can only improve, and only changes propagate). The returned program
+    initializes vertices from ``previous_values`` and the frontier from
+    the batch's destination endpoints, whose gathers pick up the new
+    edges.
+    """
+    if base.gather_reduce not in MONOTONE_REDUCES:
+        raise TypeError(
+            f"{type(base).__name__} (reduce={base.gather_reduce}) is not a "
+            "monotone min/max program; rerun from scratch instead"
+        )
+    if not base.has_gather:
+        raise TypeError(
+            "warm starts need a pull-style gather (apply-only programs "
+            "encode the iteration number in values)"
+        )
+    prev = np.asarray(previous_values).copy()
+    seeds = np.unique(batch.dst)
+
+    class Incremental(type(base)):  # inherit the device functions
+        name = f"{base.name}+inc"
+
+        def init_vertices(self, ctx):
+            return prev.astype(self.vertex_dtype, copy=True)
+
+        def init_frontier(self, ctx):
+            frontier = np.zeros(ctx.num_vertices, dtype=bool)
+            frontier[seeds] = True
+            return frontier
+
+    inc = Incremental.__new__(Incremental)
+    inc.__dict__.update(base.__dict__)  # carry source vertex, weights, etc.
+    return inc

@@ -1,0 +1,331 @@
+"""Synthetic generators for the graph families of Table 1.
+
+Each of the paper's evaluation graphs belongs to a structural family that
+determines its frontier dynamics (Figures 3, 16, 17): Kronecker/RMAT
+graphs have tiny diameters and extreme degree skew; meshes (nlpkkt160)
+and banded matrices (cage15) have large diameters and near-uniform
+degrees; web crawls and social networks sit in between; road networks
+have huge diameters. The generators below produce those families at
+arbitrary scale, fully vectorized, deterministic under an explicit seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList, VID_DTYPE
+
+
+def _dedup_pairs(src: np.ndarray, dst: np.ndarray, n: int):
+    """Remove self-loops and duplicate pairs, preserving first occurrence order."""
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    key = src.astype(np.int64) * n + dst
+    _, first = np.unique(key, return_index=True)
+    first.sort()
+    return src[first], dst[first]
+
+
+# ----------------------------------------------------------------------
+# Kronecker / RMAT (kron_g500-logn20, kron_g500-logn21, web, social)
+# ----------------------------------------------------------------------
+def rmat(
+    scale: int,
+    num_edges: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    name: str = "rmat",
+    oversample: float = 1.35,
+    max_rounds: int = 14,
+) -> EdgeList:
+    """R-MAT / Graph500-style Kronecker generator.
+
+    Produces ``num_edges`` distinct directed edges over ``2**scale``
+    vertices by recursively descending into quadrants with probabilities
+    (a, b, c, d=1-a-b-c). Over-samples then deduplicates, drawing more
+    rounds if collisions ate too many edges.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    n = 1 << scale
+    if num_edges > n * (n - 1):
+        raise ValueError(f"cannot fit {num_edges} simple edges in {n} vertices")
+    rng = np.random.default_rng(seed)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    have = 0
+    want = num_edges
+    for round_i in range(max_rounds):
+        # Collisions concentrate on hub pairs, so deficits shrink slowly
+        # near the end; grow the oversampling each round.
+        m = int((want - have) * oversample * (1.5 ** round_i)) + 16
+        src = np.zeros(m, dtype=np.int64)
+        dst = np.zeros(m, dtype=np.int64)
+        for _level in range(scale):
+            r1 = rng.random(m)
+            src_bit = r1 >= (a + b)
+            # P(dst bit | src bit): top row splits a vs b, bottom c vs d.
+            thresh = np.where(src_bit, c / max(c + d, 1e-12), a / max(a + b, 1e-12))
+            dst_bit = rng.random(m) >= thresh
+            src = (src << 1) | src_bit
+            dst = (dst << 1) | dst_bit
+        src_parts.append(src)
+        dst_parts.append(dst)
+        s = np.concatenate(src_parts)
+        t = np.concatenate(dst_parts)
+        s, t = _dedup_pairs(s, t, n)
+        have = len(s)
+        if have >= want:
+            return EdgeList(n, s[:want].astype(VID_DTYPE), t[:want].astype(VID_DTYPE), name=name)
+        src_parts, dst_parts = [s], [t]
+    raise RuntimeError(
+        f"rmat failed to reach {num_edges} distinct edges after {max_rounds} rounds "
+        f"(got {have}); lower num_edges or raise oversample"
+    )
+
+
+def kronecker(scale: int, edge_factor: float, seed: int = 0, name: str = "kron") -> EdgeList:
+    """Graph500 parameterization: 2**scale vertices, edge_factor * n edges."""
+    n = 1 << scale
+    return rmat(scale, int(edge_factor * n), seed=seed, name=name)
+
+
+def web_graph(scale: int, num_edges: int, seed: int = 0, name: str = "web") -> EdgeList:
+    """Web-crawl-like: skewed in-degree with more locality than kron."""
+    return rmat(scale, num_edges, a=0.6, b=0.15, c=0.15, seed=seed, name=name)
+
+
+def social_graph(scale: int, num_undirected_edges: int, seed: int = 0, name: str = "social") -> EdgeList:
+    """Social-network-like (orkut): heavy-tailed, undirected storage."""
+    half = rmat(scale, num_undirected_edges, a=0.45, b=0.22, c=0.22, seed=seed, name=name)
+    out = half.symmetrized()
+    out.name = name
+    return out
+
+
+def coauthor_graph(scale: int, num_undirected_edges: int, seed: int = 0, name: str = "coauthor") -> EdgeList:
+    """Collaboration-network-like: milder skew, strong clustering."""
+    half = rmat(scale, num_undirected_edges, a=0.42, b=0.19, c=0.19, seed=seed, name=name)
+    out = half.symmetrized()
+    out.name = name
+    return out
+
+
+# ----------------------------------------------------------------------
+# Meshes and banded matrices (nlpkkt160, cage15)
+# ----------------------------------------------------------------------
+def mesh3d(nx: int, ny: int, nz: int, name: str = "mesh3d") -> EdgeList:
+    """3-D grid with a 27-point stencil (symmetric, no self edge).
+
+    The nlpkkt family comes from 3-D PDE-constrained optimization; the
+    matrix is structurally a 3-D mesh: ~26 neighbors per interior vertex
+    (avg degree 26.5 in nlpkkt160), enormous diameter relative to kron.
+    """
+    n = nx * ny * nz
+    x, y, z = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij")
+    x, y, z = x.ravel(), y.ravel(), z.ravel()
+    vid = (x * ny + y) * nz + z
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                if dx == dy == dz == 0:
+                    continue
+                ok = (
+                    (x + dx >= 0) & (x + dx < nx)
+                    & (y + dy >= 0) & (y + dy < ny)
+                    & (z + dz >= 0) & (z + dz < nz)
+                )
+                srcs.append(vid[ok])
+                dsts.append(((x[ok] + dx) * ny + (y[ok] + dy)) * nz + (z[ok] + dz))
+    src = np.concatenate(srcs).astype(VID_DTYPE)
+    dst = np.concatenate(dsts).astype(VID_DTYPE)
+    return EdgeList(n, src, dst, undirected=True, name=name)
+
+
+def mesh2d(nx: int, ny: int, name: str = "mesh2d") -> EdgeList:
+    """2-D grid, 4-point stencil, symmetric."""
+    n = nx * ny
+    x, y = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    x, y = x.ravel(), y.ravel()
+    vid = x * ny + y
+    srcs, dsts = [], []
+    for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        ok = (x + dx >= 0) & (x + dx < nx) & (y + dy >= 0) & (y + dy < ny)
+        srcs.append(vid[ok])
+        dsts.append((x[ok] + dx) * ny + (y[ok] + dy))
+    return EdgeList(
+        n,
+        np.concatenate(srcs).astype(VID_DTYPE),
+        np.concatenate(dsts).astype(VID_DTYPE),
+        undirected=True,
+        name=name,
+    )
+
+
+def banded(
+    n: int,
+    halfwidth: int,
+    out_degree: int,
+    seed: int = 0,
+    name: str = "banded",
+) -> EdgeList:
+    """Banded sparse structure (cage15-like DNA-walk matrices).
+
+    Each vertex draws ``out_degree`` distinct neighbors within
+    ``halfwidth`` positions of itself, clipped at the boundary -- a
+    near-uniform-degree, large-diameter, locality-heavy structure.
+    """
+    if halfwidth < 1 or out_degree < 1:
+        raise ValueError("halfwidth and out_degree must be >= 1")
+    if out_degree > 2 * halfwidth:
+        raise ValueError("out_degree cannot exceed the band population")
+    rng = np.random.default_rng(seed)
+    base = np.repeat(np.arange(n, dtype=np.int64), out_degree)
+    mag = rng.integers(1, halfwidth + 1, size=base.shape[0])
+    sign = rng.choice(np.array([-1, 1], dtype=np.int64), size=base.shape[0])
+    dst = base + mag * sign
+    # Reflect out-of-range targets back into the band.
+    dst = np.where(dst < 0, -dst, dst)
+    dst = np.where(dst >= n, 2 * (n - 1) - dst, dst)
+    src, dst = _dedup_pairs(base, dst, n)
+    return EdgeList(n, src.astype(VID_DTYPE), dst.astype(VID_DTYPE), name=name)
+
+
+# ----------------------------------------------------------------------
+# Road networks (belgium_osm)
+# ----------------------------------------------------------------------
+def road_network(
+    rows: int,
+    cols: int,
+    extra_edges: int,
+    seed: int = 0,
+    name: str = "road",
+) -> EdgeList:
+    """Road-network-like: a random spanning tree of a grid plus a few
+
+    shortcut lattice edges. Degree ~2, very large diameter -- the family
+    whose BFS takes thousands of iterations (Table 4, belgium_osm).
+    Returned in undirected (symmetrized) storage.
+    """
+    n = rows * cols
+    rng = np.random.default_rng(seed)
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    r, c = r.ravel(), c.ravel()
+    vid = r * cols + c
+    # Spanning tree: every vertex except (0,0) links to the left or the
+    # upper neighbor (random choice where both exist).
+    mask = vid > 0
+    go_up = rng.random(n) < 0.5
+    can_up = r > 0
+    can_left = c > 0
+    up = np.where(can_left & ~(go_up & can_up), vid - 1, vid - cols)
+    parent = np.where(can_up | can_left, up, vid)  # vid 0 only
+    tree_src = vid[mask]
+    tree_dst = parent[mask]
+    # Shortcuts: random extra lattice edges to the right neighbor.
+    cand = vid[(c < cols - 1)]
+    extra = rng.choice(cand, size=min(extra_edges, len(cand)), replace=False)
+    src = np.concatenate([tree_src, extra])
+    dst = np.concatenate([tree_dst, extra + 1])
+    src, dst = _dedup_pairs(src.astype(np.int64), dst.astype(np.int64), n)
+    half = EdgeList(n, src.astype(VID_DTYPE), dst.astype(VID_DTYPE), name=name)
+    out = half.symmetrized()
+    out.name = name
+    return out
+
+
+# ----------------------------------------------------------------------
+# Triangulations and planar graphs (delaunay_n13, ak2010)
+# ----------------------------------------------------------------------
+def delaunay_graph(n: int, seed: int = 0, name: str = "delaunay") -> EdgeList:
+    """Delaunay triangulation of n uniform random points (undirected)."""
+    from scipy.spatial import Delaunay  # deferred: scipy.spatial is heavy
+
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 2))
+    tri = Delaunay(points)
+    simplices = tri.simplices
+    src = np.concatenate([simplices[:, 0], simplices[:, 1], simplices[:, 2]])
+    dst = np.concatenate([simplices[:, 1], simplices[:, 2], simplices[:, 0]])
+    half = EdgeList.from_pairs(
+        np.stack([src, dst], axis=1), num_vertices=n, name=name
+    ).deduplicated()
+    out = half.symmetrized()
+    out.name = name
+    return out
+
+
+def planar_like(n: int, num_undirected_edges: int, seed: int = 0, name: str = "planar") -> EdgeList:
+    """Planar-ish graph (ak2010-like census blocks): Delaunay thinned or
+
+    densified to the requested undirected edge count.
+    """
+    g = delaunay_graph(n, seed=seed, name=name)
+    pairs = np.stack([g.src, g.dst], axis=1)
+    canon = pairs[pairs[:, 0] < pairs[:, 1]]
+    rng = np.random.default_rng(seed + 1)
+    if len(canon) >= num_undirected_edges:
+        keep = rng.choice(len(canon), size=num_undirected_edges, replace=False)
+        canon = canon[keep]
+    half = EdgeList.from_pairs(canon, num_vertices=n, name=name)
+    out = half.symmetrized()
+    out.name = name
+    return out
+
+
+# ----------------------------------------------------------------------
+# Simple families for tests
+# ----------------------------------------------------------------------
+def erdos_renyi(n: int, num_edges: int, seed: int = 0, name: str = "er") -> EdgeList:
+    """Uniform random simple directed graph with exactly ``num_edges``."""
+    max_edges = n * (n - 1)
+    if num_edges > max_edges:
+        raise ValueError(f"cannot fit {num_edges} simple edges in {n} vertices")
+    rng = np.random.default_rng(seed)
+    if max_edges <= 1 << 22 and num_edges > max_edges // 4:
+        # Dense request: sample edge *keys* without replacement instead of
+        # rejection sampling (which stalls near saturation).
+        keys = rng.choice(max_edges, size=num_edges, replace=False)
+        src = keys // (n - 1)
+        off = keys % (n - 1)
+        dst = np.where(off >= src, off + 1, off)  # skip the self-loop slot
+        return EdgeList(n, src.astype(VID_DTYPE), dst.astype(VID_DTYPE), name=name)
+    src_parts, dst_parts = [], []
+    have = 0
+    for _ in range(12):
+        m = int((num_edges - have) * 1.5) + 16
+        src_parts.append(rng.integers(0, n, size=m))
+        dst_parts.append(rng.integers(0, n, size=m))
+        s, t = _dedup_pairs(np.concatenate(src_parts), np.concatenate(dst_parts), n)
+        have = len(s)
+        if have >= num_edges:
+            return EdgeList(n, s[:num_edges].astype(VID_DTYPE), t[:num_edges].astype(VID_DTYPE), name=name)
+        src_parts, dst_parts = [s], [t]
+    raise RuntimeError(f"erdos_renyi could not draw {num_edges} distinct edges")
+
+
+def path_graph(n: int, name: str = "path") -> EdgeList:
+    src = np.arange(n - 1, dtype=VID_DTYPE)
+    return EdgeList(n, src, src + 1, name=name)
+
+
+def cycle_graph(n: int, name: str = "cycle") -> EdgeList:
+    src = np.arange(n, dtype=VID_DTYPE)
+    return EdgeList(n, src, (src + 1) % n, name=name)
+
+
+def star_graph(n: int, name: str = "star") -> EdgeList:
+    """Vertex 0 points at every other vertex."""
+    dst = np.arange(1, n, dtype=VID_DTYPE)
+    return EdgeList(n, np.zeros(n - 1, dtype=VID_DTYPE), dst, name=name)
+
+
+def complete_graph(n: int, name: str = "complete") -> EdgeList:
+    src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    keep = src != dst
+    return EdgeList(n, src[keep].astype(VID_DTYPE), dst[keep].astype(VID_DTYPE), undirected=True, name=name)

@@ -1,0 +1,103 @@
+"""Graph statistics and the Table-1 in-memory footprint accounting.
+
+The paper defines a graph's size as "the amount of memory required to
+store the edges, vertices, and edge/vertex data states in terms of the
+user-defined datatypes and a few of the temporary buffers" (Section 6.1).
+:func:`footprint_bytes` is that accounting for the reproduction's layout;
+it is what classifies each dataset as GPU in-memory or out-of-memory
+against :class:`~repro.sim.specs.DeviceSpec` memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+#: Bytes per stored edge: CSC index (4) + CSR index (4) + edge value in
+#: each layout (4 + 4) + per-in-edge update slot (4).
+BYTES_PER_EDGE = 20
+
+#: Bytes per vertex: value (4) + gather temp (4) + CSC/CSR indptr share
+#: (2 x 8) + out-degree (8) + frontier flags (2) + changed flag (1),
+#: rounded up to alignment.
+BYTES_PER_VERTEX = 40
+
+
+def footprint_bytes(edges: EdgeList) -> int:
+    """Canonical in-memory size used for Table 1 classification."""
+    return edges.num_edges * BYTES_PER_EDGE + edges.num_vertices * BYTES_PER_VERTEX
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    max_out: int
+    max_in: int
+    avg_degree: float
+    isolated: int
+
+
+def degree_stats(edges: EdgeList) -> DegreeStats:
+    out_deg = edges.out_degrees()
+    in_deg = edges.in_degrees()
+    n = max(edges.num_vertices, 1)
+    return DegreeStats(
+        max_out=int(out_deg.max(initial=0)),
+        max_in=int(in_deg.max(initial=0)),
+        avg_degree=edges.num_edges / n,
+        isolated=int(np.count_nonzero((out_deg + in_deg) == 0)),
+    )
+
+
+def is_symmetric(edges: EdgeList) -> bool:
+    """True when every directed edge has its reverse present."""
+    n = edges.num_vertices
+    fwd = np.unique(edges.src.astype(np.int64) * n + edges.dst)
+    rev = np.unique(edges.dst.astype(np.int64) * n + edges.src)
+    return fwd.shape == rev.shape and bool(np.all(fwd == rev))
+
+
+def num_components(edges: EdgeList) -> int:
+    """Weakly connected components via scipy.sparse.csgraph."""
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    n = edges.num_vertices
+    if n == 0:
+        return 0
+    mat = coo_matrix(
+        (np.ones(edges.num_edges, dtype=np.int8), (edges.src, edges.dst)),
+        shape=(n, n),
+    )
+    count, _ = connected_components(mat, directed=True, connection="weak")
+    return int(count)
+
+
+def estimate_diameter(edges: EdgeList, samples: int = 4, seed: int = 0) -> int:
+    """Lower bound on diameter from a few BFS sweeps (frontier-dynamics
+
+    sanity checks for the Figure 3/16 families).
+    """
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import breadth_first_order
+
+    n = edges.num_vertices
+    if n == 0 or edges.num_edges == 0:
+        return 0
+    mat = coo_matrix(
+        (np.ones(edges.num_edges, dtype=np.int8), (edges.src, edges.dst)),
+        shape=(n, n),
+    ).tocsr()
+    rng = np.random.default_rng(seed)
+    best = 0
+    start = int(rng.integers(0, n))
+    for _ in range(samples):
+        order, preds = breadth_first_order(mat, start, directed=True, return_predecessors=True)
+        depth = np.zeros(n, dtype=np.int64)
+        for v in order[1:]:
+            depth[v] = depth[preds[v]] + 1
+        best = max(best, int(depth[order].max(initial=0)))
+        start = int(order[-1])  # double-sweep heuristic
+    return best

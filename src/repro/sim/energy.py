@@ -1,0 +1,80 @@
+"""Power and energy accounting (the paper's future work, Section 8
+
+item 5: "performance and energy efficiency of the highly irregular
+graph algorithm"). A simple component-level model over the device
+trace: each component draws idle power for the whole makespan plus an
+active increment while its intervals are in flight (busy spans, so
+overlapping operations are not double-billed).
+
+Default constants approximate a K20c (225 W TDP) in a dual-socket
+Xeon E5-2670 node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Component power draws in watts."""
+
+    device_idle: float = 25.0
+    sm_active: float = 140.0       # added while any kernel runs
+    copy_engine_active: float = 12.0  # added per direction while a DMA runs
+    host_idle: float = 70.0
+    host_active: float = 60.0      # added while the host drives transfers
+    storage_active: float = 8.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules by component plus the total."""
+
+    makespan: float
+    device_idle_j: float
+    sm_j: float
+    copy_j: float
+    host_j: float
+    storage_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.device_idle_j + self.sm_j + self.copy_j + self.host_j + self.storage_j
+        )
+
+    @property
+    def average_watts(self) -> float:
+        return self.total_j / self.makespan if self.makespan > 0 else 0.0
+
+
+class EnergyModel:
+    """Integrates a :class:`PowerModel` over a device trace."""
+
+    def __init__(self, power: PowerModel | None = None):
+        self.power = power or PowerModel()
+
+    def energy(self, trace: TraceRecorder, makespan: float | None = None) -> EnergyReport:
+        p = self.power
+        span = trace.makespan() if makespan is None else makespan
+        kernel_busy = trace.busy_span("kernel")
+        h2d_busy = trace.busy_span("h2d")
+        d2h_busy = trace.busy_span("d2h")
+        any_copy = trace.busy_span("h2d", "d2h")
+        storage_busy = trace.busy_span("storage")
+        return EnergyReport(
+            makespan=span,
+            device_idle_j=p.device_idle * span,
+            sm_j=p.sm_active * kernel_busy,
+            copy_j=p.copy_engine_active * (h2d_busy + d2h_busy),
+            host_j=p.host_idle * span + p.host_active * any_copy,
+            storage_j=p.storage_active * storage_busy,
+        )
+
+    def efficiency(self, trace: TraceRecorder, edges_processed: float) -> float:
+        """Traversed edges per joule -- the usual graph-energy metric."""
+        report = self.energy(trace)
+        return edges_processed / report.total_j if report.total_j > 0 else 0.0

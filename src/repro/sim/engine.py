@@ -1,0 +1,130 @@
+"""Event loop and simulated clock.
+
+The simulator is a classic discrete-event engine: callbacks are scheduled
+at absolute simulated times on a binary heap and executed in time order.
+Ties are broken by insertion order so runs are fully deterministic.
+
+All other :mod:`repro.sim` components (resources, streams, devices) hang
+off one :class:`Simulator` instance; a GraphReduce run owns exactly one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for causality violations or malformed schedules."""
+
+
+class _Event:
+    """A scheduled callback. Cancellation is a tombstone flag so the heap
+
+    never needs re-ordering; cancelled entries are skipped on pop.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.at(2.0, lambda: order.append("b"))
+    >>> _ = sim.at(1.0, lambda: order.append("a"))
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Returns a handle whose :meth:`cancel` removes the event. Scheduling
+        in the past is a causality violation and raises.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time!r} before now={self.now!r}"
+            )
+        event = _Event(float(time), next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.at(self.now + delay, callback)
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the earliest pending event. Returns False when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the queue drains (or past ``until``).
+
+        With ``until`` set, events strictly later than ``until`` stay
+        queued and the clock advances exactly to ``until``.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time
+                event.callback()
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) queued events."""
+        return sum(1 for e in self._heap if not e.cancelled)

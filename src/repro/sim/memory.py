@@ -1,0 +1,73 @@
+"""Device memory accounting.
+
+The allocator does not manage addresses -- the actual arrays live in host
+NumPy memory -- it enforces the *capacity* of the simulated device, which
+is what separates in-memory from out-of-memory graph processing in the
+paper. In-GPU-memory frameworks (CuSha, MapGraph) raise
+:class:`DeviceOOMError` on Table-1's "out-of-memory" graphs, while
+GraphReduce streams shards through a bounded allocation.
+"""
+
+from __future__ import annotations
+
+
+class DeviceOOMError(MemoryError):
+    """Requested allocation exceeds simulated device memory."""
+
+    def __init__(self, requested: int, free: int, capacity: int):
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity
+        super().__init__(
+            f"device OOM: requested {requested} B with {free} B free "
+            f"of {capacity} B total"
+        )
+
+
+class DeviceMemoryAllocator:
+    """Named-allocation capacity tracker with a high-water mark."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = int(capacity)
+        self._allocations: dict[str, int] = {}
+        self.allocated = 0
+        self.high_water = 0
+
+    def alloc(self, name: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``name``; raises on OOM or reuse."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"negative allocation {nbytes!r}")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if self.allocated + nbytes > self.capacity:
+            raise DeviceOOMError(nbytes, self.free_bytes, self.capacity)
+        self._allocations[name] = nbytes
+        self.allocated += nbytes
+        self.high_water = max(self.high_water, self.allocated)
+
+    def free(self, name: str) -> int:
+        """Release the named allocation; returns its size."""
+        try:
+            nbytes = self._allocations.pop(name)
+        except KeyError:
+            raise KeyError(f"no allocation named {name!r}") from None
+        self.allocated -= nbytes
+        return nbytes
+
+    def contains(self, name: str) -> bool:
+        return name in self._allocations
+
+    def size_of(self, name: str) -> int:
+        return self._allocations[name]
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.allocated
+
+    def reset(self) -> None:
+        """Drop every allocation (device reset)."""
+        self._allocations.clear()
+        self.allocated = 0

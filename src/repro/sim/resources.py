@@ -1,0 +1,224 @@
+"""Shared rate resources with water-filling allocation.
+
+Two hardware behaviours recur throughout the modeled machine:
+
+* A **copy engine** (one per PCIe direction on Kepler) serves one DMA at a
+  time at link bandwidth; queued transfers from any stream are serviced
+  FIFO back-to-back.
+* The **SM pool** executes up to ``hyperq`` concurrent kernels; each kernel
+  can consume at most its *demand* (how much of the machine its grid can
+  occupy) and the pool's total throughput is shared by water-filling. A
+  kernel launched over a tiny frontier leaves most of the machine idle,
+  which a concurrent kernel from another shard can soak up -- exactly the
+  paper's compute-compute scheme (Section 3.3).
+
+Both are instances of :class:`FluidResource`: total capacity ``capacity``
+(units/second), at most ``max_concurrent`` jobs in service, each job
+capped at its own ``max_rate``, with fair water-filling of the residual
+capacity. A copy engine is simply ``max_concurrent=1``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class _Job:
+    __slots__ = (
+        "work", "remaining", "max_rate", "callback", "on_start", "rate",
+        "start_time", "tag",
+    )
+
+    def __init__(
+        self,
+        work: float,
+        max_rate: float,
+        callback: Callable[[], None],
+        tag,
+        on_start: Callable[[], None] | None = None,
+    ):
+        self.work = work
+        self.remaining = work
+        self.max_rate = max_rate
+        self.callback = callback
+        self.on_start = on_start
+        self.rate = 0.0
+        self.start_time = -1.0
+        self.tag = tag
+
+
+class FluidResource:
+    """A capacity-``C`` resource shared by jobs via water-filling.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Total service rate in work units per second.
+    max_concurrent:
+        Maximum jobs in service at once; excess jobs queue FIFO.
+    name:
+        Used in traces and error messages.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        max_concurrent: int | None = None,
+        name: str = "resource",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent!r}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.max_concurrent = max_concurrent
+        self.name = name
+        self._active: list[_Job] = []
+        self._queue: deque[_Job] = deque()
+        self._last_update = sim.now
+        self._completion_event = None
+        self.busy_time = 0.0  # integral of (allocated rate / capacity) dt
+        self.served_work = 0.0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        work: float,
+        callback: Callable[[], None],
+        max_rate: float | None = None,
+        tag=None,
+        on_start: Callable[[], None] | None = None,
+    ) -> None:
+        """Submit a job of ``work`` units; ``callback`` fires on completion.
+
+        ``max_rate`` caps how fast this job may be served (defaults to the
+        full capacity). ``on_start`` fires when the job enters service
+        (after any FIFO queueing) -- how transfers distinguish queue wait
+        from actual DMA time. Zero-work jobs complete after the current
+        event.
+        """
+        if work < 0:
+            raise ValueError(f"negative work {work!r}")
+        rate_cap = self.capacity if max_rate is None else float(max_rate)
+        if rate_cap <= 0:
+            raise ValueError(f"max_rate must be positive, got {max_rate!r}")
+        job = _Job(float(work), rate_cap, callback, tag, on_start)
+        if work == 0:
+            # Completes "immediately" but asynchronously, preserving the
+            # invariant that callbacks never run inside submit().
+            if on_start is not None:
+                self.sim.after(0.0, on_start)
+            self.sim.after(0.0, callback)
+            return
+        self._sync()
+        if self.max_concurrent is not None and len(self._active) >= self.max_concurrent:
+            self._queue.append(job)
+        else:
+            job.start_time = self.sim.now
+            self._active.append(job)
+            if job.on_start is not None:
+                job.on_start()
+        self._reallocate()
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._active)
+
+    @property
+    def queued_jobs(self) -> int:
+        return len(self._queue)
+
+    def utilization_until(self, t_end: float) -> float:
+        """Average fraction of capacity used from t=0 to ``t_end``."""
+        if t_end <= 0:
+            return 0.0
+        self._sync()
+        return min(1.0, self.busy_time / t_end)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Advance all active jobs' remaining work up to sim.now."""
+        dt = self.sim.now - self._last_update
+        if dt < 0:
+            raise SimulationError(f"{self.name}: clock moved backwards")
+        if dt > 0:
+            total_rate = 0.0
+            for job in self._active:
+                job.remaining -= job.rate * dt
+                # Rounding tolerance: dt is a difference of two clock
+                # values, so its absolute error grows with sim.now; at
+                # rate r that shows up as ~r * now * eps work units.
+                tol = 1e-9 * max(1.0, job.work) + job.rate * (
+                    abs(self.sim.now) + 1.0
+                ) * 1e-11
+                if job.remaining < -tol:
+                    raise SimulationError(
+                        f"{self.name}: job overshot completion by {-job.remaining!r}"
+                    )
+                job.remaining = max(job.remaining, 0.0)
+                total_rate += job.rate
+            self.busy_time += (total_rate / self.capacity) * dt
+            self.served_work += total_rate * dt
+        self._last_update = self.sim.now
+
+    def _water_fill(self) -> None:
+        """Assign rates: each job gets min(demand, fair residual share)."""
+        jobs = sorted(self._active, key=lambda j: j.max_rate)
+        remaining = self.capacity
+        n = len(jobs)
+        for i, job in enumerate(jobs):
+            share = remaining / (n - i)
+            job.rate = min(job.max_rate, share)
+            remaining -= job.rate
+
+    def _reallocate(self) -> None:
+        """Recompute rates and (re)schedule the next completion event."""
+        if self._completion_event is not None:
+            self.sim.cancel(self._completion_event)
+            self._completion_event = None
+        finished: list[_Job] = []
+        while True:
+            # Retire jobs whose remaining work is (numerically) zero.
+            done = [j for j in self._active if j.remaining <= 1e-12 * max(1.0, j.work)]
+            if done:
+                self._active = [j for j in self._active if j not in done]
+                finished.extend(done)
+                while self._queue and (
+                    self.max_concurrent is None or len(self._active) < self.max_concurrent
+                ):
+                    job = self._queue.popleft()
+                    job.start_time = self.sim.now
+                    self._active.append(job)
+                    if job.on_start is not None:
+                        job.on_start()
+                continue
+            if not self._active:
+                break
+            self._water_fill()
+            t_next = min(j.remaining / j.rate for j in self._active)
+            if self.sim.now + t_next > self.sim.now:
+                self._completion_event = self.sim.after(t_next, self._on_completion)
+                break
+            # Residual work too small for the clock to represent its
+            # completion: snap those jobs to done and retire them now,
+            # otherwise the completion event would fire at the current
+            # time forever (dt = 0 -> no progress).
+            for j in self._active:
+                if j.remaining / j.rate <= t_next:
+                    j.remaining = 0.0
+        for job in finished:
+            job.callback()
+
+    def _on_completion(self) -> None:
+        self._completion_event = None
+        self._sync()
+        self._reallocate()

@@ -1,0 +1,78 @@
+"""KCore and LabelPropagation correctness vs NetworkX."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import KCore, LabelPropagation, ConnectedComponents
+from repro.core.runtime import GraphReduce
+from repro.graph.generators import complete_graph, erdos_renyi, path_graph
+
+
+def undirected_fixture(seed=1, n=80, m=250):
+    g = erdos_renyi(n, m, seed=seed).symmetrized()
+    G = nx.Graph(zip(g.src.tolist(), g.dst.tolist()))
+    G.add_nodes_from(range(n))
+    return g, G
+
+
+class TestKCore:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_networkx(self, k):
+        g, G = undirected_fixture()
+        G.remove_edges_from(nx.selfloop_edges(G))
+        r = GraphReduce(g).run(KCore(k=k))
+        got = set(KCore(k).core_members(r.vertex_values).tolist())
+        want = set(nx.k_core(G, k=k).nodes())
+        assert got == want
+
+    def test_complete_graph_survives(self):
+        g = complete_graph(6)
+        r = GraphReduce(g).run(KCore(k=5))
+        assert len(KCore(5).core_members(r.vertex_values)) == 6
+        r2 = GraphReduce(g).run(KCore(k=6))
+        assert len(KCore(6).core_members(r2.vertex_values)) == 0
+
+    def test_path_has_no_2core(self):
+        g = path_graph(10).symmetrized()
+        r = GraphReduce(g).run(KCore(k=2))
+        assert len(KCore(2).core_members(r.vertex_values)) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KCore(k=0)
+
+    def test_peeling_cascade(self):
+        # A triangle with a tail: the tail peels first, triangle stays.
+        from repro.graph.edgelist import EdgeList
+
+        g = EdgeList.from_pairs(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)], num_vertices=5
+        ).symmetrized()
+        r = GraphReduce(g).run(KCore(k=2))
+        assert set(KCore(2).core_members(r.vertex_values).tolist()) == {0, 1, 2}
+
+
+class TestLabelPropagation:
+    def test_converges_to_component_max(self):
+        g, G = undirected_fixture(seed=2)
+        r = GraphReduce(g).run(LabelPropagation())
+        labels = r.vertex_values
+        for comp in nx.connected_components(G):
+            expected = max(comp)
+            for v in comp:
+                assert labels[v] == expected
+
+    def test_partition_agrees_with_cc(self):
+        g, _ = undirected_fixture(seed=3)
+        lp = GraphReduce(g).run(LabelPropagation()).vertex_values
+        cc = GraphReduce(g).run(ConnectedComponents()).vertex_values
+        # Same partition, opposite canonical representatives.
+        for e in range(g.num_edges):
+            u, v = int(g.src[e]), int(g.dst[e])
+            assert (lp[u] == lp[v]) == (cc[u] == cc[v])
+
+    def test_max_rounds_cuts_off(self):
+        g = path_graph(50).symmetrized()
+        r = GraphReduce(g).run(LabelPropagation(max_rounds=3))
+        assert r.iterations <= 3

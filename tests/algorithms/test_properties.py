@@ -1,0 +1,117 @@
+"""Property-based tests on algorithm invariants (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BFS, SSSP, ConnectedComponents, PageRank
+from repro.core.runtime import GraphReduce, GraphReduceOptions
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import erdos_renyi
+
+
+def random_graph(draw_n, draw_m, seed):
+    n = draw_n
+    m = min(draw_m, n * (n - 1))
+    if m == 0:
+        return EdgeList.from_pairs([], num_vertices=n)
+    return erdos_renyi(n, m, seed=seed)
+
+
+graph_strategy = st.builds(
+    random_graph,
+    draw_n=st.integers(min_value=2, max_value=60),
+    draw_m=st.integers(min_value=0, max_value=150),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(g=graph_strategy, source_frac=st.floats(min_value=0, max_value=0.999))
+def test_bfs_depths_are_consistent(g, source_frac):
+    """Depth of any reached vertex is 1 + min over in-neighbor depths
+
+    (except the source), and the source has depth 0."""
+    source = int(source_frac * g.num_vertices)
+    depths = GraphReduce(g).run(BFS(source=source)).vertex_values
+    assert depths[source] == 0
+    for e in range(g.num_edges):
+        u, v = int(g.src[e]), int(g.dst[e])
+        if not np.isinf(depths[u]):
+            assert depths[v] <= depths[u] + 1  # edge relaxation holds
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=graph_strategy, seed=st.integers(min_value=0, max_value=100))
+def test_sssp_triangle_inequality(g, seed):
+    gw = g.with_random_weights(seed=seed)
+    dist = GraphReduce(gw).run(SSSP(source=0)).vertex_values
+    assert dist[0] == 0
+    for e in range(gw.num_edges):
+        u, v = int(gw.src[e]), int(gw.dst[e])
+        if not np.isinf(dist[u]):
+            assert dist[v] <= dist[u] + gw.weights[e] + 1e-3
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=graph_strategy)
+def test_cc_fixed_point(g):
+    """Labels are a fixed point: no edge can lower its endpoint label,
+
+    and every label is the id of a vertex in the same component."""
+    sym = g.symmetrized() if g.num_edges else g
+    labels = GraphReduce(sym).run(ConnectedComponents()).vertex_values
+    for e in range(sym.num_edges):
+        u, v = int(sym.src[e]), int(sym.dst[e])
+        assert labels[v] <= labels[u]  # symmetric storage -> equality
+        assert labels[u] <= labels[v]
+    assert np.all(labels <= np.arange(sym.num_vertices))
+
+
+@settings(max_examples=15, deadline=None)
+@given(g=graph_strategy)
+def test_pagerank_bounds(g):
+    """Every rank lies in [1-d, 1-d + d*V] and isolated vertices get 1-d."""
+    ranks = GraphReduce(g).run(PageRank(tolerance=1e-5)).vertex_values
+    assert np.all(ranks >= 0.15 - 1e-4)
+    in_deg = g.in_degrees()
+    assert np.allclose(ranks[in_deg == 0], 0.15, atol=1e-4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    g=graph_strategy,
+    p=st.integers(min_value=1, max_value=9),
+)
+def test_partition_count_does_not_change_results(g, p):
+    base = GraphReduce(g).run(BFS(source=0)).vertex_values
+    other = GraphReduce(
+        g, options=GraphReduceOptions(num_partitions=p)
+    ).run(BFS(source=0)).vertex_values
+    assert np.array_equal(base, other)
+
+
+def test_bfs_frontier_rise_and_fall():
+    """The Figure 3/16 BFS shape: starts at 1, peaks, falls to 0."""
+    g = erdos_renyi(500, 4000, seed=3)
+    r = GraphReduce(g).run(BFS(source=0))
+    h = r.frontier_history
+    assert h[0] == 1
+    assert max(h) > 1
+    assert h[-1] == 0
+
+
+def test_pagerank_frontier_starts_full_and_decays():
+    g = erdos_renyi(300, 2500, seed=4)
+    r = GraphReduce(g).run(PageRank(tolerance=1e-4))
+    h = r.frontier_history
+    assert h[0] == 300
+    assert h[-1] == 0 or r.iterations == PageRank().max_iterations
+
+
+def test_cc_frontier_starts_full():
+    g = erdos_renyi(200, 1000, seed=5).symmetrized()
+    r = GraphReduce(g).run(ConnectedComponents())
+    assert r.frontier_history[0] == 200
+    assert r.frontier_history[-1] == 0

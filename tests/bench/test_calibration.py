@@ -1,0 +1,29 @@
+"""The calibration ledger must match the live defaults."""
+
+import pytest
+
+from repro.bench.calibration import LEDGER, ledger_by_name, live_values, render
+
+
+def test_every_ledger_entry_matches_live_default():
+    live = live_values()
+    for constant in LEDGER:
+        assert constant.name in live, f"{constant.name} missing from live_values()"
+        assert live[constant.name] == pytest.approx(constant.value), constant.name
+
+
+def test_every_live_value_is_documented():
+    documented = set(ledger_by_name())
+    assert set(live_values()) == documented
+
+
+def test_every_entry_has_derivation():
+    for constant in LEDGER:
+        assert len(constant.derivation) > 20, constant.name
+        assert constant.unit
+
+
+def test_render_mentions_all():
+    text = render()
+    for constant in LEDGER:
+        assert constant.name in text

@@ -1,0 +1,42 @@
+"""Figure-5 matmul harness invariants."""
+
+import pytest
+
+from repro.bench.matmul import SCHEMES, MatmulCase, run_scheme, stripe_ops, sweep
+
+
+def test_stripe_ops_scale_with_n():
+    h2d1, k1, d2h1 = stripe_ops(MatmulCase(n=1000))
+    h2d2, k2, d2h2 = stripe_ops(MatmulCase(n=2000))
+    assert h2d2 == 2 * h2d1
+    assert k2 == pytest.approx(4 * k1)  # stripe flops ~ rows * n^2
+    assert d2h1 == h2d1
+
+
+def test_schemes_ordering():
+    case = MatmulCase(n=1024)
+    t = {s: run_scheme(case, s) for s in SCHEMES}
+    assert t["compute_transfer"] < t["unoptimized"]
+    assert t["compute_compute"] <= t["compute_transfer"] + 1e-12
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        run_scheme(MatmulCase(n=64), "magic")
+
+
+def test_sweep_structure():
+    data = sweep([128, 256])
+    assert set(data) == set(SCHEMES)
+    for scheme in SCHEMES:
+        assert set(data[scheme]) == {128, 256}
+        assert all(v > 0 for v in data[scheme].values())
+
+
+def test_compute_compute_gain_shrinks_with_size():
+    data = sweep([256, 4096])
+    gain = {
+        n: data["compute_transfer"][n] / data["compute_compute"][n]
+        for n in (256, 4096)
+    }
+    assert gain[256] >= gain[4096] - 1e-9

@@ -1,0 +1,76 @@
+"""Reporting/formatting utilities."""
+
+import json
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table, save_results
+
+
+def test_format_table_alignment():
+    text = format_table(
+        "Title", ["col_a", "b"], [["x", 1.0], ["longer", 123456.0]], note="a note"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1] == "====="
+    assert "col_a" in lines[2]
+    assert "a note" in text
+    # Column alignment: all data rows share the first column width.
+    assert lines[4].index("1") == lines[5].index("1.23")
+
+
+def test_format_table_number_rendering():
+    text = format_table("t", ["v"], [[0.000123], [1234567.0], [0.5], [0]])
+    assert "0.000123" in text
+    assert "1.23e+06" in text
+    assert "0.5" in text
+
+
+def test_sparkline_shapes():
+    from repro.bench.reporting import sparkline
+
+    assert sparkline([0, 5, 10], width=3) == " =@"
+    assert sparkline([]) == ""
+    assert sparkline([0, 0, 0]) == "   "
+    # Rise-and-fall shows a peak in the middle.
+    line = sparkline([1, 5, 10, 5, 1], width=5)
+    assert line[2] == "@"
+    assert line[0] == line[4]
+
+
+def test_sparkline_subsampling():
+    from repro.bench.reporting import sparkline
+
+    assert len(sparkline(list(range(1000)), width=40)) == 40
+
+
+def test_format_series_includes_sparkline():
+    from repro.bench.reporting import format_series
+
+    text = format_series("t", {"bfs": [1, 10, 100, 10, 1]})
+    assert "|" in text
+    assert "peak=100" in text
+
+
+def test_format_series_subsamples_long_histories():
+    text = format_series("s", {"case": list(range(1000))}, max_points=10)
+    assert "iterations=1000" in text
+    assert "peak=999" in text
+    # subsampled: far fewer than 1000 numbers on the data line
+    data_line = text.splitlines()[-1]
+    assert len(data_line.split()) <= 12
+
+
+def test_save_results_roundtrip(tmp_path):
+    path = save_results("exp", "hello\n", {"a": [1, 2]}, results_dir=tmp_path)
+    assert path.read_text() == "hello\n"
+    data = json.loads((tmp_path / "exp.json").read_text())
+    assert data == {"a": [1, 2]}
+
+
+def test_save_results_handles_numpy(tmp_path):
+    import numpy as np
+
+    save_results("np", "x", {"v": np.float32(1.5)}, results_dir=tmp_path)
+    assert json.loads((tmp_path / "np.json").read_text()) == {"v": 1.5}

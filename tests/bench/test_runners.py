@@ -1,0 +1,101 @@
+"""Runner plumbing on cheap experiments (the heavy campaigns run under
+
+benchmarks/; here we exercise structure, caching and the light runners).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import runners
+from repro.bench.paper_values import HEADLINES, TABLE2, TABLE3, TABLE4
+
+
+class TestPaperValues:
+    def test_table3_complete(self):
+        assert set(TABLE3) == {
+            "kron_g500-logn21", "nlpkkt160", "uk-2002", "orkut", "cage15"
+        }
+        for cols in TABLE3.values():
+            assert set(cols) == {"GraphChi", "X-Stream", "GR"}
+            for per in cols.values():
+                assert set(per) == set(runners.ALGORITHMS)
+
+    def test_table4_complete(self):
+        assert len(TABLE4) == 5
+        for cols in TABLE4.values():
+            assert set(cols) == {"MapGraph", "CuSha", "GR"}
+
+    def test_headlines(self):
+        assert HEADLINES["avg_speedup_over_graphchi"] == 13.4
+        assert HEADLINES["max_speedup_over_xstream"] == 21.0
+
+    def test_table2_keys_match_registry(self):
+        from repro.graph.datasets import TABLE2 as GRAPHS
+
+        assert set(TABLE2) == set(GRAPHS)
+
+
+class TestRunnerPlumbing:
+    def test_source_vertex_deterministic(self):
+        a = runners.source_vertex("delaunay_n13")
+        b = runners.source_vertex("delaunay_n13")
+        assert a == b
+        g = __import__("repro.graph.datasets", fromlist=["load_dataset"]).load_dataset(
+            "delaunay_n13"
+        )
+        assert g.out_degrees()[a] == g.out_degrees().max()
+
+    def test_prepared_graph_variants(self):
+        bfs_g = runners.prepared_graph("delaunay_n13", "BFS")
+        sssp_g = runners.prepared_graph("delaunay_n13", "SSSP")
+        assert bfs_g.weights is None
+        assert sssp_g.weights is not None
+        assert np.all(sssp_g.weights >= 1.0)
+        # CC on an already-undirected dataset reuses the stored graph.
+        cc_g = runners.prepared_graph("delaunay_n13", "CC")
+        assert cc_g.num_edges == bfs_g.num_edges
+
+    def test_prepared_graph_symmetrizes_directed_for_cc(self):
+        bfs_g = runners.prepared_graph("webbase-1M", "BFS")
+        cc_g = runners.prepared_graph("webbase-1M", "CC")
+        assert cc_g.num_edges > bfs_g.num_edges
+        from repro.graph.properties import is_symmetric
+
+        assert is_symmetric(cc_g)
+
+    def test_trace_cache_returns_same_object(self):
+        t1 = runners.get_trace("delaunay_n13", "BFS")
+        t2 = runners.get_trace("delaunay_n13", "BFS")
+        assert t1 is t2
+
+    def test_gr_cache_keyed_by_optimization(self):
+        r_opt = runners.get_gr("delaunay_n13", "BFS", optimized=True)
+        r_unopt = runners.get_gr("delaunay_n13", "BFS", optimized=False)
+        assert r_opt is not r_unopt
+        assert np.array_equal(r_opt.vertex_values, r_unopt.vertex_values)
+        assert runners.get_gr("delaunay_n13", "BFS", optimized=True) is r_opt
+
+
+class TestLightRunners:
+    def test_fig4_structure_and_shape(self):
+        data = runners.fig4_transfer(1_000_000)
+        assert set(data) == {"sequential", "random"}
+        seq = {m: c["seconds"] for m, c in data["sequential"].items()}
+        rnd = {m: c["seconds"] for m, c in data["random"].items()}
+        assert seq["pinned"] < seq["explicit"]
+        assert rnd["explicit"] < rnd["pinned"]
+
+    def test_fig5_structure(self):
+        data = runners.fig5_overlap(sizes=(256, 512))
+        assert data["sizes"] == [256, 512]
+        assert data["speedups"]["compute_transfer"][256] > 1
+
+    def test_table1_rows(self):
+        rows = runners.table1_datasets()
+        assert len(rows) == 11
+        by_name = {r["graph"]: r for r in rows}
+        assert not by_name["kron_g500-logn21"]["classified_in_memory"]
+        assert by_name["ak2010"]["classified_in_memory"]
+        for r in rows:
+            assert r["edges"] > 0
+            assert r["in_memory_size_mb"] > 0

@@ -1,0 +1,12 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Graph construction inside strategies is slow relative to hypothesis's
+# default deadline; property tests bound example counts themselves.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")

@@ -1,0 +1,164 @@
+"""Asynchronous execution mode, LRU shard caching, iteration stats."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, BFSGather, ConnectedComponents, PageRank, SSSP
+from repro.core.fusion import build_async_plan
+from repro.core.runtime import GraphReduce, GraphReduceOptions
+from repro.graph.generators import erdos_renyi, mesh2d, rmat
+from repro.sim.specs import DeviceSpec, MachineSpec
+
+
+class TestAsyncMode:
+    def test_async_plan_is_one_fused_sweep(self):
+        plan = build_async_plan(SSSP())
+        assert len(plan) == 1
+        group = plan[0]
+        assert group.phases == ("gather_map", "gather_reduce", "apply", "frontier_activate")
+        assert "in_topology" in group.h2d_buffers
+        assert "out_topology" in group.h2d_buffers
+        assert group.scratch_buffers == ("edge_update_array",)
+
+    def test_async_plan_bfs(self):
+        plan = build_async_plan(BFS())
+        assert plan[0].phases == ("apply", "frontier_activate")
+        assert plan[0].h2d_buffers == ("out_topology",)
+
+    @pytest.mark.parametrize("prog_factory", [
+        lambda: BFSGather(source=1),
+        lambda: SSSP(source=1),
+        lambda: ConnectedComponents(),
+    ])
+    def test_monotone_programs_reach_same_fixed_point(self, prog_factory):
+        g = rmat(9, 5_000, seed=51).symmetrized()
+        bsp = GraphReduce(g).run(prog_factory())
+        as_ = GraphReduce(
+            g, options=GraphReduceOptions(execution_mode="async")
+        ).run(prog_factory())
+        np.testing.assert_array_equal(as_.vertex_values, bsp.vertex_values)
+
+    def test_async_converges_in_no_more_sweeps(self):
+        # Label propagation across a long path: async sweeps flow labels
+        # through many shards per sweep, BSP one hop per iteration.
+        from repro.graph.generators import path_graph
+
+        g = path_graph(400).symmetrized()
+        bsp = GraphReduce(g).run(ConnectedComponents())
+        as_ = GraphReduce(
+            g,
+            options=GraphReduceOptions(execution_mode="async", num_partitions=8,
+                                       cache_policy="never"),
+        ).run(ConnectedComponents())
+        assert np.array_equal(as_.vertex_values, bsp.vertex_values)
+        assert as_.iterations < bsp.iterations
+
+    def test_pagerank_gauss_seidel_same_ranks(self):
+        g = rmat(9, 4_000, seed=52).symmetrized()
+        bsp = GraphReduce(g).run(PageRank(tolerance=1e-6))
+        as_ = GraphReduce(
+            g, options=GraphReduceOptions(execution_mode="async")
+        ).run(PageRank(tolerance=1e-6))
+        np.testing.assert_allclose(
+            as_.vertex_values, bsp.vertex_values, rtol=1e-3, atol=1e-4
+        )
+        assert as_.iterations <= bsp.iterations
+
+    def test_unknown_mode_rejected(self):
+        g = erdos_renyi(20, 50, seed=53)
+        with pytest.raises(ValueError, match="execution_mode"):
+            GraphReduce(
+                g, options=GraphReduceOptions(execution_mode="speculative")
+            ).run(BFS())
+
+
+class TestLRUCache:
+    def machine(self, memory):
+        return MachineSpec(device=DeviceSpec(memory_bytes=memory))
+
+    def test_lru_results_identical(self):
+        g = rmat(11, 40_000, seed=54)
+        base = GraphReduce(g).run(PageRank(tolerance=1e-3))
+        lru = GraphReduce(
+            g, options=GraphReduceOptions(cache_policy="lru")
+        ).run(PageRank(tolerance=1e-3))
+        assert np.array_equal(base.vertex_values, lru.vertex_values)
+
+    def test_lru_beats_never_when_graph_almost_fits(self):
+        g = rmat(11, 40_000, seed=54)
+        opts_never = GraphReduceOptions(cache_policy="never")
+        opts_lru = GraphReduceOptions(cache_policy="lru")
+        never = GraphReduce(g, options=opts_never).run(PageRank(tolerance=1e-3))
+        lru = GraphReduce(g, options=opts_lru).run(PageRank(tolerance=1e-3))
+        assert lru.stats.h2d_bytes < never.stats.h2d_bytes
+        assert lru.stats.cache_hits > 0
+        assert lru.sim_time < never.sim_time
+
+    def test_lru_evicts_when_working_set_moves(self):
+        # A BFS wavefront over a banded graph: early shards go cold as
+        # the frontier advances, so the cache recycles their space.
+        # Eviction requires genuine coldness (two untouched iterations)
+        # -- the anti-thrash rule -- which a moving wavefront provides.
+        from repro.graph.generators import banded
+
+        g = banded(3_000, 60, 8, seed=55)
+        fp_machine = self.machine(500_000)
+        r = GraphReduce(
+            g,
+            machine=fp_machine,
+            options=GraphReduceOptions(cache_policy="lru", num_partitions=12),
+        ).run(BFS(source=0))
+        assert r.stats.cache_evictions > 0
+        base = GraphReduce(g).run(BFS(source=0))
+        assert np.array_equal(r.vertex_values, base.vertex_values)
+
+    def test_lru_never_worse_than_streaming_on_cyclic_access(self):
+        # Cyclic all-active access with a cache smaller than the working
+        # set must not thrash: the cached prefix stays, the rest streams.
+        g = rmat(12, 120_000, seed=55)
+        fp_machine = self.machine(3_500_000)
+        lru = GraphReduce(
+            g,
+            machine=fp_machine,
+            options=GraphReduceOptions(cache_policy="lru", num_partitions=10),
+        ).run(PageRank(tolerance=1e-3))
+        never = GraphReduce(
+            g,
+            machine=fp_machine,
+            options=GraphReduceOptions(cache_policy="never", num_partitions=10),
+        ).run(PageRank(tolerance=1e-3))
+        assert np.array_equal(lru.vertex_values, never.vertex_values)
+        assert lru.stats.h2d_bytes <= never.stats.h2d_bytes * 1.05
+
+
+class TestIterationStats:
+    def test_stats_cover_every_iteration(self):
+        g = erdos_renyi(200, 1_000, seed=56)
+        r = GraphReduce(
+            g, options=GraphReduceOptions(cache_policy="never")
+        ).run(BFS(source=0))
+        assert len(r.iteration_stats) == r.iterations
+        assert [s.iteration for s in r.iteration_stats] == list(range(r.iterations))
+        # Frontier sizes in stats match the frontier history.
+        assert [s.frontier_size for s in r.iteration_stats] == r.frontier_history[: r.iterations]
+
+    def test_traffic_sums_match_totals(self):
+        g = erdos_renyi(200, 1_000, seed=56)
+        r = GraphReduce(
+            g, options=GraphReduceOptions(cache_policy="never")
+        ).run(PageRank(tolerance=1e-3))
+        # Per-iteration h2d sums to the total minus the resident upload.
+        per_iter = sum(s.h2d_bytes for s in r.iteration_stats)
+        assert 0 < per_iter <= r.stats.h2d_bytes
+        assert sum(s.sim_seconds for s in r.iteration_stats) <= r.sim_time + 1e-12
+
+    def test_low_activity_iterations_move_less(self):
+        g = rmat(10, 20_000, seed=57)
+        r = GraphReduce(
+            g, options=GraphReduceOptions(cache_policy="never")
+        ).run(BFS(source=int(np.argmax(g.out_degrees()))))
+        stats = r.iteration_stats
+        peak = max(s.frontier_size for s in stats)
+        big = [s.h2d_bytes for s in stats if s.frontier_size == peak]
+        small = [s.h2d_bytes for s in stats if s.frontier_size == 1]
+        assert min(big) >= max(small)

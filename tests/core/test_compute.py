@@ -1,0 +1,138 @@
+"""Compute Engine unit tests: per-phase behaviour on hand-built shards."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, PageRank, SSSP
+from repro.core.compute import ComputeEngine, WorkItems
+from repro.core.frontier import FrontierManager
+from repro.core.partition import PartitionEngine
+from repro.core.runtime import RuntimeContext
+from repro.graph.edgelist import EdgeList
+
+
+def make_engine(pairs, n, program, frontier_init=None, p=2, weights=None):
+    edges = EdgeList.from_pairs(pairs, num_vertices=n, weights=weights)
+    if program.needs_weights and edges.weights is None:
+        edges = edges.with_unit_weights()
+    sharded = PartitionEngine().partition(edges, p)
+    ctx = RuntimeContext(edges)
+    init = (
+        np.asarray(program.init_frontier(ctx), dtype=bool)
+        if frontier_init is None
+        else frontier_init
+    )
+    frontier = FrontierManager(sharded, init)
+    return ComputeEngine(sharded, program, ctx, frontier), sharded, frontier
+
+
+def test_work_items_accumulate():
+    w = WorkItems(2, 3)
+    w += WorkItems(5, 7)
+    assert (w.edge_items, w.vertex_items, w.total) == (7, 10, 17)
+
+
+def test_gather_then_reduce_on_one_shard():
+    # 0->2, 1->2 with SSSP: vertex 2 gathers min(dist+w).
+    prog = SSSP(source=0)
+    engine, sharded, frontier = make_engine(
+        [(0, 2), (1, 2)], 3, prog, p=1, weights=[5.0, 7.0]
+    )
+    frontier.current[:] = False
+    frontier.current[2] = True  # vertex 2 pulls from its in-edges
+    shard = sharded.shards[0]
+    engine.begin_iteration(0)
+    w1 = engine.run_group(("gather_map",), shard, count_full=False)
+    assert w1.edge_items == 2
+    w2 = engine.run_group(("gather_reduce",), shard, count_full=False)
+    assert w2.vertex_items == 1
+    assert engine.gather_has[2]
+    assert engine.gather_temp[2] == pytest.approx(5.0)  # 0 + 5.0
+
+
+def test_gather_skips_inactive_vertices():
+    prog = SSSP(source=0)
+    engine, sharded, frontier = make_engine([(0, 1), (0, 2)], 3, prog, p=1)
+    frontier.current[:] = False
+    frontier.current[1] = True
+    engine.begin_iteration(0)
+    w = engine.run_group(("gather_map", "gather_reduce"), sharded.shards[0], False)
+    assert w.edge_items == 1  # only vertex 1's in-edge
+    assert not engine.gather_has[2]
+
+
+def test_count_full_reports_shard_totals():
+    prog = SSSP(source=0)
+    engine, sharded, frontier = make_engine([(0, 1), (0, 2), (1, 2)], 3, prog, p=1)
+    frontier.current[:] = False  # nothing active
+    engine.begin_iteration(0)
+    shard = sharded.shards[0]
+    w = engine.run_group(("gather_map", "gather_reduce"), shard, count_full=True)
+    assert w.edge_items == shard.num_in_edges
+    assert w.vertex_items == shard.num_interval_vertices
+
+
+def test_apply_marks_changed_and_respects_dtype():
+    prog = BFS(source=0)
+    engine, sharded, frontier = make_engine([(0, 1)], 2, prog, p=1)
+    engine.begin_iteration(0)
+    engine.run_group(("apply",), sharded.shards[0], False)
+    assert engine.vertex_values[0] == 0.0
+    assert frontier.changed[0]
+    assert not frontier.changed[1]
+    assert engine.vertex_values.dtype == np.float32
+
+
+def test_apply_shape_mismatch_rejected():
+    class Bad(BFS):
+        def apply(self, ctx, vids, old_vals, gathered, has_gather, iteration):
+            return old_vals, np.zeros(max(len(vids) - 1, 0), dtype=bool)
+
+    engine, sharded, frontier = make_engine([(0, 1)], 2, Bad(source=0), p=1)
+    engine.begin_iteration(0)
+    with pytest.raises(ValueError, match="changed mask"):
+        engine.run_group(("apply",), sharded.shards[0], False)
+
+
+def test_frontier_activate_reaches_out_neighbors():
+    prog = BFS(source=0)
+    engine, sharded, frontier = make_engine([(0, 1), (0, 2), (1, 2)], 3, prog, p=1)
+    engine.begin_iteration(0)
+    engine.run_group(("apply", "frontier_activate"), sharded.shards[0], False)
+    assert set(np.flatnonzero(frontier.next)) == {1, 2}
+
+
+def test_scatter_updates_edge_state():
+    class ScatterProg(BFS):
+        edge_dtype = np.float32
+
+        def scatter(self, ctx, src_ids, src_vals, weights, edge_states):
+            return src_vals + 1.0
+
+    prog = ScatterProg(source=0)
+    engine, sharded, frontier = make_engine([(0, 1), (0, 2)], 3, prog, p=1)
+    engine.begin_iteration(0)
+    engine.run_group(("apply",), sharded.shards[0], False)
+    w = engine.run_group(("scatter",), sharded.shards[0], False)
+    assert w.edge_items == 2
+    # Both out-edges of vertex 0 got value depth(0)+1 = 1.0.
+    np.testing.assert_array_equal(engine.edge_state, [1.0, 1.0])
+
+
+def test_pagerank_gather_uses_out_degrees():
+    prog = PageRank()
+    engine, sharded, frontier = make_engine([(0, 2), (1, 2), (0, 1)], 3, prog, p=1)
+    engine.begin_iteration(0)
+    engine.run_group(("gather_map", "gather_reduce"), sharded.shards[0], False)
+    # vertex 2 gathers 1/deg(0) + 1/deg(1) = 1/2 + 1/1.
+    assert engine.gather_temp[2] == pytest.approx(1.5)
+
+
+def test_undefined_phases_are_noops_but_count_full():
+    prog = BFS(source=0)  # no gather, no scatter
+    engine, sharded, frontier = make_engine([(0, 1)], 2, prog, p=1)
+    engine.begin_iteration(0)
+    shard = sharded.shards[0]
+    w = engine.run_group(("gather_map", "gather_reduce", "scatter"), shard, count_full=True)
+    assert w.edge_items == shard.num_in_edges + shard.num_out_edges
+    assert not engine.gather_has.any()

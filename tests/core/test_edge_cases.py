@@ -1,0 +1,87 @@
+"""Degenerate inputs: empty graphs, singletons, self-loops, empty shards."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, ConnectedComponents, PageRank, SSSP
+from repro.core.runtime import GraphReduce, GraphReduceOptions
+from repro.graph.edgelist import EdgeList
+
+
+def empty_graph(n=10):
+    return EdgeList.from_pairs([], num_vertices=n)
+
+
+class TestEmptyGraph:
+    def test_bfs(self):
+        r = GraphReduce(empty_graph()).run(BFS(source=3))
+        assert r.vertex_values[3] == 0
+        assert np.isinf(np.delete(r.vertex_values, 3)).all()
+        assert r.converged
+
+    def test_pagerank(self):
+        r = GraphReduce(empty_graph()).run(PageRank())
+        np.testing.assert_allclose(r.vertex_values, 0.15, atol=1e-6)
+
+    def test_cc_labels_are_ids(self):
+        r = GraphReduce(empty_graph()).run(ConnectedComponents())
+        assert np.array_equal(r.vertex_values, np.arange(10, dtype=np.float32))
+
+    def test_streaming_mode(self):
+        r = GraphReduce(
+            empty_graph(50),
+            options=GraphReduceOptions(cache_policy="never", num_partitions=4),
+        ).run(BFS(source=0))
+        assert r.converged
+
+
+class TestSingleton:
+    def test_one_vertex(self):
+        g = EdgeList.from_pairs([], num_vertices=1)
+        r = GraphReduce(g).run(BFS(source=0))
+        assert r.vertex_values.tolist() == [0.0]
+
+    def test_zero_vertices(self):
+        g = EdgeList.from_pairs([], num_vertices=0)
+        r = GraphReduce(g).run(ConnectedComponents())
+        assert len(r.vertex_values) == 0
+        assert r.converged
+
+
+class TestSelfLoops:
+    def test_bfs_with_self_loop(self):
+        g = EdgeList.from_pairs([(0, 0), (0, 1)], num_vertices=2)
+        r = GraphReduce(g).run(BFS(source=0))
+        assert r.vertex_values.tolist() == [0.0, 1.0]
+        assert r.converged  # the self-loop must not spin the frontier
+
+    def test_sssp_with_self_loop(self):
+        g = EdgeList.from_pairs(
+            [(0, 0), (0, 1)], num_vertices=2, weights=[5.0, 2.0]
+        )
+        r = GraphReduce(g).run(SSSP(source=0))
+        assert r.vertex_values.tolist() == [0.0, 2.0]
+
+    def test_cc_with_self_loops_only(self):
+        g = EdgeList.from_pairs([(0, 0), (1, 1)], num_vertices=2)
+        r = GraphReduce(g).run(ConnectedComponents())
+        assert r.vertex_values.tolist() == [0.0, 1.0]
+
+
+class TestSparseShards:
+    def test_isolated_vertex_heavy_graph(self):
+        # Most shards hold no edges at all.
+        g = EdgeList.from_pairs([(0, 999)], num_vertices=1000)
+        r = GraphReduce(
+            g, options=GraphReduceOptions(num_partitions=16, cache_policy="never")
+        ).run(BFS(source=0))
+        assert r.vertex_values[999] == 1.0
+        assert np.isinf(r.vertex_values[1:999]).all()
+
+    def test_all_edges_in_one_shard(self):
+        pairs = [(i, i + 1) for i in range(20)]
+        g = EdgeList.from_pairs(pairs, num_vertices=1000)
+        r = GraphReduce(
+            g, options=GraphReduceOptions(num_partitions=8)
+        ).run(BFS(source=0))
+        assert r.vertex_values[20] == 20.0

@@ -1,0 +1,73 @@
+"""Cross-feature combinations that a downstream user will reach for."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFSGather, ConnectedComponents, PageRank
+from repro.core.multigpu import MultiGPUGraphReduce
+from repro.core.runtime import GraphReduce, GraphReduceOptions
+from repro.graph.generators import rmat
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(10, 20_000, seed=91).symmetrized()
+
+
+def test_multigpu_with_async_mode(graph):
+    single = GraphReduce(graph).run(ConnectedComponents())
+    opts = GraphReduceOptions(execution_mode="async", cache_policy="never")
+    multi = MultiGPUGraphReduce(graph, num_devices=2, options=opts).run(
+        ConnectedComponents()
+    )
+    assert np.array_equal(multi.vertex_values, single.vertex_values)
+
+
+def test_async_with_lru(graph):
+    base = GraphReduce(graph).run(BFSGather(source=1))
+    combo = GraphReduce(
+        graph,
+        options=GraphReduceOptions(execution_mode="async", cache_policy="lru"),
+    ).run(BFSGather(source=1))
+    assert np.array_equal(combo.vertex_values, base.vertex_values)
+    assert combo.iterations <= base.iterations
+
+
+def test_async_with_ssd(graph):
+    from repro.sim.specs import HostSpec, MachineSpec
+
+    machine = MachineSpec(host=HostSpec(memory_bytes=200_000))
+    base = GraphReduce(graph).run(PageRank(tolerance=1e-3))
+    combo = GraphReduce(
+        graph,
+        machine=machine,
+        options=GraphReduceOptions(
+            execution_mode="async", cache_policy="never", host_backing="ssd"
+        ),
+    ).run(PageRank(tolerance=1e-3))
+    np.testing.assert_allclose(
+        combo.vertex_values, base.vertex_values, rtol=1e-3, atol=1e-4
+    )
+    assert combo.trace.total_duration("storage") > 0
+
+
+def test_unoptimized_async_is_rejected_cleanly(graph):
+    # Async mode + unoptimized() both try to control the plan; the
+    # options compose by letting execution_mode win, which must still
+    # produce correct results.
+    opts = GraphReduceOptions.unoptimized().replace(execution_mode="async")
+    base = GraphReduce(graph).run(ConnectedComponents())
+    r = GraphReduce(graph, options=opts).run(ConnectedComponents())
+    assert np.array_equal(r.vertex_values, base.vertex_values)
+
+
+def test_report_over_async_run(graph):
+    from repro.core.report import build_report
+
+    r = GraphReduce(
+        graph,
+        options=GraphReduceOptions(execution_mode="async", cache_policy="never"),
+    ).run(PageRank(tolerance=1e-3))
+    report = build_report(r)
+    assert "async_sweep" in report.phases
+    assert report.phases["async_sweep"].kernel_launches > 0

@@ -1,0 +1,202 @@
+"""Partition Engine invariants: coverage, balance, layout, plug-ins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    PartitionEngine,
+    PartitionLogicTable,
+    edge_balanced_intervals,
+    vertex_balanced_intervals,
+)
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import erdos_renyi, rmat, star_graph
+
+
+@pytest.fixture
+def engine():
+    return PartitionEngine()
+
+
+def test_every_in_edge_lands_in_dst_shard(engine):
+    g = erdos_renyi(100, 600, seed=1)
+    sharded = engine.partition(g, 4)
+    seen = []
+    for shard in sharded.shards:
+        for v_local in range(shard.num_interval_vertices):
+            v = shard.start + v_local
+            lo, hi = shard.csc.indptr[v_local], shard.csc.indptr[v_local + 1]
+            for slot in range(lo, hi):
+                eid = shard.csc.edge_ids[slot]
+                assert g.dst[eid] == v
+                seen.append(int(eid))
+    assert sorted(seen) == list(range(g.num_edges))
+
+
+def test_every_out_edge_lands_in_src_shard(engine):
+    g = erdos_renyi(100, 600, seed=2)
+    sharded = engine.partition(g, 4)
+    seen = []
+    for shard in sharded.shards:
+        for v_local in range(shard.num_interval_vertices):
+            v = shard.start + v_local
+            lo, hi = shard.csr.indptr[v_local], shard.csr.indptr[v_local + 1]
+            for slot in range(lo, hi):
+                eid = shard.csr.edge_ids[slot]
+                assert g.src[eid] == v
+                seen.append(int(eid))
+    assert sorted(seen) == list(range(g.num_edges))
+
+
+def test_intervals_are_disjoint_and_cover(engine):
+    g = rmat(10, 8000, seed=3)
+    sharded = engine.partition(g, 7)
+    assert sharded.boundaries[0] == 0
+    assert sharded.boundaries[-1] == g.num_vertices
+    for i, shard in enumerate(sharded.shards):
+        assert shard.start == sharded.boundaries[i]
+        assert shard.stop == sharded.boundaries[i + 1]
+
+
+def test_edge_balanced_beats_vertex_balanced_on_skew(engine):
+    # A star graph: vertex 0 owns all edges. Edge-balancing puts the hub
+    # alone; vertex balancing gives shard 0 everything.
+    g = star_graph(1000)
+    eb = engine.partition(g, 4, logic="edge_balanced")
+    vb = engine.partition(g, 4, logic="vertex_balanced")
+    eb_loads = [s.num_edges for s in eb.shards]
+    vb_loads = [s.num_edges for s in vb.shards]
+    assert max(eb_loads) <= max(vb_loads)
+
+
+def test_edge_balance_quality(engine):
+    g = erdos_renyi(500, 5000, seed=4)
+    sharded = engine.partition(g, 5)
+    loads = [s.num_edges for s in sharded.shards]
+    assert max(loads) < 2.0 * (sum(loads) / len(loads))
+
+
+def test_weights_are_carried_in_both_layouts(engine):
+    g = erdos_renyi(50, 300, seed=5).with_random_weights(seed=6)
+    sharded = engine.partition(g, 3)
+    for shard in sharded.shards:
+        np.testing.assert_array_equal(shard.csc_weights, g.weights[shard.csc.edge_ids])
+        np.testing.assert_array_equal(shard.csr_weights, g.weights[shard.csr.edge_ids])
+
+
+def test_single_partition(engine):
+    g = erdos_renyi(30, 100, seed=7)
+    sharded = engine.partition(g, 1)
+    assert sharded.num_partitions == 1
+    assert sharded.shards[0].num_in_edges == g.num_edges
+    assert sharded.shards[0].num_out_edges == g.num_edges
+
+
+def test_more_partitions_than_vertices_clamped(engine):
+    g = erdos_renyi(5, 10, seed=8)
+    sharded = engine.partition(g, 100)
+    assert sharded.num_partitions == 5
+
+
+def test_empty_graph(engine):
+    g = EdgeList.from_pairs([], num_vertices=10)
+    sharded = engine.partition(g, 3)
+    assert sharded.num_partitions == 3
+    assert all(s.num_edges == 0 for s in sharded.shards)
+
+
+def test_invalid_partition_count(engine):
+    g = erdos_renyi(10, 20, seed=9)
+    with pytest.raises(ValueError):
+        engine.partition(g, 0)
+
+
+def test_interval_of(engine):
+    g = erdos_renyi(100, 500, seed=10)
+    sharded = engine.partition(g, 4)
+    for shard in sharded.shards:
+        assert sharded.interval_of(shard.start) == shard.index
+        assert sharded.interval_of(shard.stop - 1) == shard.index
+
+
+def test_buffer_bytes_structure(engine):
+    g = erdos_renyi(40, 200, seed=11).with_unit_weights()
+    shard = engine.partition(g, 2).shards[0]
+    plain = shard.buffer_bytes(with_weights=False, with_edge_state=False)
+    assert set(plain) == {"in_topology", "out_topology", "edge_update_array", "vertex_update_array"}
+    rich = shard.buffer_bytes(with_weights=True, with_edge_state=True)
+    assert {"in_weights", "out_weights", "in_edge_state", "out_edge_state"} <= set(rich)
+    assert shard.total_bytes(True, True) == sum(rich.values())
+    assert rich["edge_update_array"] == shard.num_in_edges * 4
+
+
+def test_logic_table_plugin(engine):
+    table = PartitionLogicTable()
+
+    def thirds(edges, p):
+        n = edges.num_vertices
+        return np.array([0] + [n // 3, 2 * n // 3][: p - 1] + [n])[: p + 1]
+
+    table.register("thirds", thirds)
+    eng = PartitionEngine(table)
+    g = erdos_renyi(30, 100, seed=12)
+    sharded = eng.partition(g, 3, logic="thirds")
+    assert sharded.boundaries.tolist() == [0, 10, 20, 30]
+    with pytest.raises(KeyError):
+        eng.partition(g, 3, logic="nonexistent")
+    assert "edge_balanced" in table.names
+
+
+def test_bad_logic_output_rejected(engine):
+    table = PartitionLogicTable()
+    table.register("broken", lambda edges, p: np.array([0, 5]))
+    eng = PartitionEngine(table)
+    with pytest.raises(ValueError):
+        eng.partition(erdos_renyi(30, 100, seed=13), 3, logic="broken")
+
+
+def test_choose_num_partitions_scales_with_graph():
+    small = erdos_renyi(100, 500, seed=14)
+    big = erdos_renyi(1000, 50_000, seed=15)
+    p_small = PartitionEngine.choose_num_partitions(small, 10**6, False, False, 10**4)
+    p_big = PartitionEngine.choose_num_partitions(big, 10**6, False, False, 10**4)
+    assert p_big > p_small
+
+
+def test_choose_num_partitions_rejects_oversized_residents():
+    g = erdos_renyi(100, 500, seed=16)
+    with pytest.raises(ValueError, match="vertex set"):
+        PartitionEngine.choose_num_partitions(g, 1000, False, False, 2000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    p=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_partition_invariants_property(n, p, seed):
+    """Boundaries monotone; every edge appears exactly once per role."""
+    m = min(3 * n, n * max(n - 1, 0))
+    g = erdos_renyi(n, m, seed=seed) if m else EdgeList.from_pairs([], num_vertices=n)
+    sharded = PartitionEngine().partition(g, p)
+    b = sharded.boundaries
+    assert b[0] == 0 and b[-1] == n
+    assert np.all(np.diff(b) >= 0)
+    in_total = sum(s.num_in_edges for s in sharded.shards)
+    out_total = sum(s.num_out_edges for s in sharded.shards)
+    assert in_total == g.num_edges
+    assert out_total == g.num_edges
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=st.integers(min_value=1, max_value=10))
+def test_boundary_functions_direct(p):
+    g = erdos_renyi(77, 300, seed=0)
+    for fn in (edge_balanced_intervals, vertex_balanced_intervals):
+        b = fn(g, p)
+        assert len(b) == p + 1
+        assert b[0] == 0 and b[-1] == 77
+        assert np.all(np.diff(b) >= 0)

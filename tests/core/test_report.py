@@ -1,0 +1,63 @@
+"""Execution report aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, PageRank
+from repro.core.report import build_report
+from repro.core.runtime import GraphReduce, GraphReduceOptions
+from repro.graph.generators import rmat
+
+
+@pytest.fixture(scope="module")
+def result():
+    g = rmat(10, 10_000, seed=41)
+    return GraphReduce(g, options=GraphReduceOptions(cache_policy="never")).run(
+        PageRank(tolerance=1e-3)
+    )
+
+
+def test_phase_breakdown_covers_plan(result):
+    report = build_report(result)
+    # Paper-faithful PR plan: gatherMap, gatherReduce, apply, FA, plus
+    # resident uploads and the per-iteration frontier copies.
+    assert {"gather_map", "gather_reduce", "apply", "frontier_activate"} <= set(report.phases)
+    assert "resident" in report.phases
+    assert "frontier" in report.phases
+
+
+def test_totals_match_result(result):
+    report = build_report(result)
+    total_xfer = sum(p.transfer_time for p in report.phases.values())
+    assert total_xfer == pytest.approx(result.memcpy_time, rel=1e-9)
+    total_kernel = sum(p.kernel_time for p in report.phases.values())
+    assert total_kernel == pytest.approx(result.kernel_time, rel=1e-9)
+    launches = sum(p.kernel_launches for p in report.phases.values())
+    assert launches == result.stats.kernel_launches
+
+
+def test_gather_map_writes_updates_back(result):
+    report = build_report(result)
+    assert report.phases["gather_map"].d2h_bytes > 0  # edge update array out
+    assert report.phases["gather_reduce"].h2d_bytes > 0  # and back in
+    assert report.phases["apply"].h2d_bytes == 0  # resident-only phase
+
+
+def test_overlap_and_skip_metrics(result):
+    report = build_report(result)
+    assert report.overlap_efficiency > 0
+    assert 0 <= report.shard_skip_rate < 1
+
+
+def test_text_rendering(result):
+    text = build_report(result).to_text()
+    assert "gather_map" in text
+    assert "overlap efficiency" in text
+    assert "MB" in text
+
+
+def test_requires_trace():
+    g = rmat(8, 1000, seed=42)
+    r = GraphReduce(g, options=GraphReduceOptions(trace=False)).run(BFS(source=0))
+    with pytest.raises(ValueError, match="trace"):
+        build_report(r)

@@ -1,0 +1,151 @@
+"""CSR/CSC builders, ragged gather and segment reduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSR, build_csc, build_csr, ragged_gather, segment_reduce
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import erdos_renyi
+
+
+def small_graph():
+    return EdgeList.from_pairs([(0, 1), (0, 2), (2, 1), (1, 0), (2, 0)])
+
+
+def test_csr_rows_are_out_neighbors():
+    csr = build_csr(small_graph())
+    assert sorted(csr.neighbors(0).tolist()) == [1, 2]
+    assert csr.neighbors(1).tolist() == [0]
+    assert sorted(csr.neighbors(2).tolist()) == [0, 1]
+    assert csr.num_edges == 5
+
+
+def test_csc_rows_are_in_neighbors():
+    csc = build_csc(small_graph())
+    assert sorted(csc.neighbors(0).tolist()) == [1, 2]
+    assert sorted(csc.neighbors(1).tolist()) == [0, 2]
+    assert csc.neighbors(2).tolist() == [0]
+
+
+def test_edge_ids_map_back_to_edge_list():
+    g = small_graph()
+    csr = build_csr(g)
+    for v in range(g.num_vertices):
+        lo, hi = csr.indptr[v], csr.indptr[v + 1]
+        for slot in range(lo, hi):
+            eid = csr.edge_ids[slot]
+            assert g.src[eid] == v
+            assert g.dst[eid] == csr.indices[slot]
+
+
+def test_csc_edge_ids_map_back():
+    g = small_graph()
+    csc = build_csc(g)
+    for v in range(g.num_vertices):
+        lo, hi = csc.indptr[v], csc.indptr[v + 1]
+        for slot in range(lo, hi):
+            eid = csc.edge_ids[slot]
+            assert g.dst[eid] == v
+            assert g.src[eid] == csc.indices[slot]
+
+
+def test_row_slice_rebases():
+    csr = build_csr(small_graph())
+    sub = csr.row_slice(1, 3)
+    assert sub.num_rows == 2
+    assert sub.indptr[0] == 0
+    assert sub.num_edges == csr.indptr[3] - csr.indptr[1]
+    assert sub.neighbors(0).tolist() == csr.neighbors(1).tolist()
+
+
+def test_degrees_match_edgelist():
+    g = erdos_renyi(50, 200, seed=7)
+    assert np.array_equal(build_csr(g).degrees(), g.out_degrees())
+    assert np.array_equal(build_csc(g).degrees(), g.in_degrees())
+
+
+def test_invalid_csr_rejected():
+    with pytest.raises(ValueError):
+        CSR(np.array([1, 2]), np.array([0]), np.array([0]))  # indptr[0] != 0
+    with pytest.raises(ValueError):
+        CSR(np.array([0, 2, 1]), np.array([0, 1]), np.array([0, 1]))  # decreasing
+    with pytest.raises(ValueError):
+        CSR(np.array([0, 3]), np.array([0, 1]), np.array([0, 1]))  # size mismatch
+
+
+def test_ragged_gather_basics():
+    indptr = np.array([0, 2, 2, 5], dtype=np.int64)
+    pos, seg = ragged_gather(indptr, np.array([0, 2]))
+    assert pos.tolist() == [0, 1, 2, 3, 4]
+    assert seg.tolist() == [0, 0, 2, 2, 2]
+
+
+def test_ragged_gather_empty_selection():
+    indptr = np.array([0, 2, 4], dtype=np.int64)
+    pos, seg = ragged_gather(indptr, np.array([], dtype=np.int64))
+    assert len(pos) == 0 and len(seg) == 0
+
+
+def test_ragged_gather_all_empty_rows():
+    indptr = np.array([0, 0, 0, 5], dtype=np.int64)
+    pos, seg = ragged_gather(indptr, np.array([0, 1]))
+    assert len(pos) == 0
+
+
+def test_ragged_gather_skips_empty_rows_between():
+    indptr = np.array([0, 2, 2, 5], dtype=np.int64)
+    pos, seg = ragged_gather(indptr, np.array([0, 1, 2]))
+    assert pos.tolist() == [0, 1, 2, 3, 4]
+    assert seg.tolist() == [0, 0, 2, 2, 2]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    degrees=st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=30),
+    data=st.data(),
+)
+def test_ragged_gather_matches_python_loop(degrees, data):
+    indptr = np.zeros(len(degrees) + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    rows = data.draw(
+        st.lists(st.integers(min_value=0, max_value=len(degrees) - 1), max_size=20)
+    )
+    rows = np.array(rows, dtype=np.int64)
+    pos, seg = ragged_gather(indptr, rows)
+    expect_pos, expect_seg = [], []
+    for r in rows:
+        for p in range(indptr[r], indptr[r + 1]):
+            expect_pos.append(p)
+            expect_seg.append(r)
+    assert pos.tolist() == expect_pos
+    assert seg.tolist() == expect_seg
+
+
+def test_segment_reduce_sum_and_min():
+    vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+    starts = np.array([0, 2, 3])
+    assert segment_reduce(np.add, vals, starts).tolist() == [3.0, 3.0, 9.0]
+    assert segment_reduce(np.minimum, vals, starts).tolist() == [1.0, 3.0, 4.0]
+
+
+def test_segment_reduce_empty_values():
+    out = segment_reduce(np.add, np.empty(0), np.empty(0, dtype=np.int64))
+    assert len(out) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=5),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_segment_reduce_matches_per_segment_sum(segments):
+    vals = np.array([v for seg in segments for v in seg])
+    starts = np.cumsum([0] + [len(s) for s in segments[:-1]]).astype(np.int64)
+    got = segment_reduce(np.add, vals, starts)
+    want = [sum(s) for s in segments]
+    np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-9)

@@ -1,0 +1,133 @@
+"""Generator family properties: the structure Table 1 relies on."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.properties import degree_stats, estimate_diameter, is_symmetric, num_components
+
+
+def test_rmat_counts_and_determinism():
+    g1 = gen.rmat(10, 5000, seed=3)
+    g2 = gen.rmat(10, 5000, seed=3)
+    assert g1.num_vertices == 1024
+    assert g1.num_edges == 5000
+    assert np.array_equal(g1.src, g2.src) and np.array_equal(g1.dst, g2.dst)
+    g3 = gen.rmat(10, 5000, seed=4)
+    assert not np.array_equal(g1.src, g3.src)
+
+
+def test_rmat_is_simple():
+    g = gen.rmat(9, 3000, seed=1)
+    assert np.all(g.src != g.dst)
+    key = g.src.astype(np.int64) * g.num_vertices + g.dst
+    assert len(np.unique(key)) == g.num_edges
+
+
+def test_rmat_is_skewed():
+    g = gen.rmat(12, 40_000, seed=5)
+    stats = degree_stats(g)
+    assert stats.max_out > 20 * stats.avg_degree  # heavy tail
+
+
+def test_rmat_rejects_impossible_request():
+    with pytest.raises(ValueError):
+        gen.rmat(2, 100)
+    with pytest.raises(ValueError):
+        gen.rmat(4, 10, a=0.9, b=0.2, c=0.2)
+
+
+def test_kronecker_edge_factor():
+    g = gen.kronecker(8, 4.0, seed=2)
+    assert g.num_edges == 1024
+
+
+def test_mesh3d_structure():
+    g = gen.mesh3d(5, 5, 5)
+    assert g.num_vertices == 125
+    assert is_symmetric(g)
+    stats = degree_stats(g)
+    assert stats.max_out == 26  # interior vertex full stencil
+    assert num_components(g) == 1
+    # central vertex has all 26 neighbors; corner has 7
+    assert np.sort(g.out_degrees())[0] == 7
+
+
+def test_mesh2d_structure():
+    g = gen.mesh2d(4, 6)
+    assert g.num_vertices == 24
+    assert is_symmetric(g)
+    assert g.num_edges == 2 * (3 * 6 + 4 * 5)
+    assert num_components(g) == 1
+
+
+def test_mesh_has_large_diameter():
+    g = gen.mesh2d(16, 16)
+    k = gen.rmat(8, g.num_edges, seed=1)
+    assert estimate_diameter(g) > 2 * estimate_diameter(k)
+
+
+def test_banded_locality():
+    g = gen.banded(500, 10, 8, seed=6)
+    assert np.all(np.abs(g.src.astype(int) - g.dst.astype(int)) <= 10)
+    assert np.all(g.src != g.dst)
+    stats = degree_stats(g)
+    assert stats.max_out <= 8
+
+
+def test_banded_validation():
+    with pytest.raises(ValueError):
+        gen.banded(10, 0, 1)
+    with pytest.raises(ValueError):
+        gen.banded(10, 2, 5)
+
+
+def test_road_network_is_connected_tree_plus_shortcuts():
+    g = gen.road_network(20, 25, 30, seed=7)
+    assert g.num_vertices == 500
+    assert is_symmetric(g)
+    assert num_components(g) == 1
+    stats = degree_stats(g)
+    assert stats.avg_degree < 5  # sparse like a road network
+    # Diameter far larger than a random graph of the same size.
+    assert estimate_diameter(g) > 15
+
+
+def test_delaunay_graph_is_planarish():
+    g = gen.delaunay_graph(300, seed=8)
+    assert is_symmetric(g)
+    assert num_components(g) == 1
+    # Planar: undirected edge count <= 3n - 6.
+    assert g.num_edges / 2 <= 3 * 300 - 6
+
+
+def test_planar_like_hits_edge_target():
+    g = gen.planar_like(300, 500, seed=9)
+    assert g.num_edges == 1000  # stored directed
+    assert is_symmetric(g)
+
+
+def test_social_and_coauthor_are_symmetric():
+    for fn in (gen.social_graph, gen.coauthor_graph):
+        g = fn(10, 3000, seed=10)
+        assert is_symmetric(g)
+        assert g.undirected
+
+
+def test_erdos_renyi_exact_count():
+    g = gen.erdos_renyi(100, 1000, seed=11)
+    assert g.num_edges == 1000
+    key = g.src.astype(np.int64) * 100 + g.dst
+    assert len(np.unique(key)) == 1000
+
+
+def test_simple_families():
+    p = gen.path_graph(5)
+    assert p.num_edges == 4
+    c = gen.cycle_graph(5)
+    assert c.num_edges == 5
+    s = gen.star_graph(6)
+    assert s.out_degrees()[0] == 5
+    k = gen.complete_graph(4)
+    assert k.num_edges == 12
+    assert is_symmetric(k)

@@ -1,0 +1,125 @@
+"""Graph I/O round-trips and the dataset registry contract."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import DATASETS, IN_MEMORY_TABLE4, OUT_OF_MEMORY, TABLE2, load_dataset
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import (
+    load_edgelist_txt,
+    load_matrix_market,
+    load_npz,
+    save_edgelist_txt,
+    save_npz,
+)
+
+
+class TestIO:
+    def test_txt_roundtrip(self, tmp_path):
+        g = erdos_renyi(30, 100, seed=1).with_random_weights(seed=2)
+        path = tmp_path / "g.txt"
+        save_edgelist_txt(g, path)
+        h = load_edgelist_txt(path, num_vertices=30)
+        assert np.array_equal(g.src, h.src)
+        assert np.array_equal(g.dst, h.dst)
+        np.testing.assert_allclose(g.weights, h.weights, rtol=1e-5)
+
+    def test_txt_unweighted_and_comments(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% other comment\n0 1\n1 2\n\n")
+        g = load_edgelist_txt(path)
+        assert g.num_edges == 2
+        assert g.weights is None
+        assert g.num_vertices == 3
+
+    def test_txt_inconsistent_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n1 2 3.0\n")
+        with pytest.raises(ValueError):
+            load_edgelist_txt(path)
+
+    def test_txt_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        g = load_edgelist_txt(path, num_vertices=4)
+        assert g.num_edges == 0 and g.num_vertices == 4
+
+    def test_npz_roundtrip(self, tmp_path):
+        g = erdos_renyi(30, 80, seed=3).symmetrized()
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        h = load_npz(path)
+        assert h.undirected
+        assert np.array_equal(g.src, h.src)
+        assert h.num_vertices == 30
+
+    def test_matrix_market_general_real(self):
+        buf = io.StringIO(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "3 3 2\n"
+            "1 2 5.0\n"
+            "3 1 7.0\n"
+        )
+        g = load_matrix_market(buf)
+        assert g.num_vertices == 3
+        assert set(zip(g.src.tolist(), g.dst.tolist())) == {(0, 1), (2, 0)}
+        assert sorted(g.weights.tolist()) == [5.0, 7.0]
+
+    def test_matrix_market_symmetric_pattern(self):
+        buf = io.StringIO(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        g = load_matrix_market(buf)
+        assert g.undirected
+        assert g.num_edges == 4
+
+    def test_matrix_market_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            load_matrix_market(io.StringIO("%%MatrixMarket matrix array real general\n"))
+        with pytest.raises(ValueError):
+            load_matrix_market(io.StringIO("not a header\n"))
+        with pytest.raises(ValueError):
+            load_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+            )
+
+
+class TestDatasets:
+    def test_registry_names(self):
+        assert set(IN_MEMORY_TABLE4) <= set(DATASETS)
+        assert set(OUT_OF_MEMORY) <= set(DATASETS)
+        assert set(TABLE2) <= set(DATASETS)
+        assert len(OUT_OF_MEMORY) == 5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("yahoo-web")
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("delaunay_n13")
+        b = load_dataset("delaunay_n13")
+        assert a is b
+        c = load_dataset("delaunay_n13", cache=False)
+        assert c is not a
+        assert c.num_edges == a.num_edges
+
+    def test_small_entries_build_and_classify(self):
+        """Full classification of every dataset is covered by the
+        integration suite; here, spot-check the cheap ones."""
+        from repro.graph.properties import footprint_bytes
+        from repro.sim.specs import DeviceSpec
+
+        cap = DeviceSpec().memory_bytes
+        for name in ("delaunay_n13", "ak2010"):
+            info = DATASETS[name]
+            g = load_dataset(name)
+            assert isinstance(g, EdgeList)
+            assert (footprint_bytes(g) <= cap) == info.in_memory
+            assert g.undirected == info.undirected

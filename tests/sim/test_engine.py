@@ -1,0 +1,114 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(3.0, lambda: order.append("c"))
+    sim.at(1.0, lambda: order.append("a"))
+    sim.at(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.at(1.0, lambda n=name: order.append(n))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_after_is_relative_to_now():
+    sim = Simulator()
+    times = []
+    sim.at(5.0, lambda: sim.after(2.5, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [7.5]
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.at(1.0, lambda: fired.append(1))
+    sim.cancel(handle)
+    sim.run()
+    assert fired == []
+    assert sim.now == 0.0  # nothing actually ran
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.at(1.0, lambda: None)
+    sim.cancel(handle)
+    sim.cancel(handle)
+    sim.run()
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+    sim.at(1.0, lambda: sim.at(2.0, lambda: seen.append("late")))
+    sim.run()
+    assert seen == ["late"]
+    assert sim.now == 2.0
+
+
+def test_run_until_stops_at_bound():
+    sim = Simulator()
+    seen = []
+    sim.at(1.0, lambda: seen.append(1))
+    sim.at(5.0, lambda: seen.append(5))
+    sim.run(until=3.0)
+    assert seen == [1]
+    assert sim.now == 3.0
+    sim.run()
+    assert seen == [1, 5]
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.at(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    h1 = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    assert sim.pending == 2
+    sim.cancel(h1)
+    assert sim.pending == 1
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.at(1.0, reenter)
+    sim.run()

@@ -1,0 +1,87 @@
+"""ResourceOp (shared storage) and explicit kernel occupancy."""
+
+import pytest
+
+from repro.sim.device import GPUDevice
+from repro.sim.engine import Simulator
+from repro.sim.resources import FluidResource
+from repro.sim.specs import DeviceSpec
+from repro.sim.stream import Kernel, ResourceOp
+
+
+def make_device():
+    sim = Simulator()
+    return sim, GPUDevice(sim, DeviceSpec())
+
+
+class TestResourceOp:
+    def test_occupies_shared_resource(self):
+        sim, dev = make_device()
+        ssd = FluidResource(sim, 100.0, name="ssd")
+        dev.create_stream().enqueue(ResourceOp(ssd, 50.0, label="read"))
+        dev.synchronize()
+        assert sim.now == pytest.approx(0.5)
+        assert dev.trace.total_duration("storage") == pytest.approx(0.5)
+
+    def test_contention_between_streams(self):
+        sim, dev = make_device()
+        ssd = FluidResource(sim, 100.0, max_concurrent=1, name="ssd")
+        dev.create_stream().enqueue(ResourceOp(ssd, 50.0))
+        dev.create_stream().enqueue(ResourceOp(ssd, 50.0))
+        dev.synchronize()
+        assert sim.now == pytest.approx(1.0)  # serialized
+
+    def test_orders_before_following_copy(self):
+        sim, dev = make_device()
+        ssd = FluidResource(sim, 100.0, name="ssd")
+        s = dev.create_stream()
+        s.enqueue(ResourceOp(ssd, 100.0))
+        s.memcpy_h2d(3300)  # 1 us of DMA
+        dev.synchronize()
+        copy = next(i for i in dev.trace.intervals if i.category == "h2d")
+        assert copy.start >= 1.0
+
+    def test_record_flag(self):
+        sim, dev = make_device()
+        ssd = FluidResource(sim, 100.0, name="ssd")
+        dev.create_stream().enqueue(ResourceOp(ssd, 10.0, record=False))
+        dev.synchronize()
+        assert dev.trace.total_duration("storage") == 0
+
+    def test_negative_work_rejected(self):
+        sim, dev = make_device()
+        ssd = FluidResource(sim, 100.0)
+        with pytest.raises(ValueError):
+            ResourceOp(ssd, -1.0)
+
+
+class TestKernelOccupancy:
+    def test_explicit_occupancy_slows_solo_kernel(self):
+        sim, dev = make_device()
+        dev.create_stream().enqueue(
+            Kernel(10_000, "vertex", work_seconds=1e-3, occupancy=0.25)
+        )
+        dev.synchronize()
+        # 1 ms of machine-work at quarter occupancy -> 4 ms.
+        assert dev.trace.kernel_time() == pytest.approx(4e-3, rel=0.01)
+
+    def test_low_occupancy_kernels_overlap(self):
+        sim, dev = make_device()
+        for i in range(4):
+            dev.create_stream().enqueue(
+                Kernel(1000, "vertex", work_seconds=1e-3, occupancy=0.25)
+            )
+        dev.synchronize()
+        # Four quarter-occupancy kernels fill the machine: ~4 ms total,
+        # not 16 ms.
+        assert dev.trace.makespan() < 5e-3
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(ValueError):
+            Kernel(10, occupancy=0.0)
+        with pytest.raises(ValueError):
+            Kernel(10, occupancy=1.5)
+
+    def test_negative_work_seconds(self):
+        with pytest.raises(ValueError):
+            Kernel(10, work_seconds=-1.0)

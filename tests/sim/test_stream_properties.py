@@ -1,0 +1,94 @@
+"""Property tests on stream semantics: ordering and conservation hold
+
+for arbitrary operation sequences across arbitrary stream counts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.device import GPUDevice
+from repro.sim.engine import Simulator
+from repro.sim.specs import DeviceSpec
+
+op_strategy = st.tuples(
+    st.integers(min_value=0, max_value=3),  # stream index
+    st.sampled_from(["h2d", "d2h", "kernel"]),
+    st.integers(min_value=1, max_value=2_000_000),  # bytes or items
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(op_strategy, min_size=1, max_size=25))
+def test_per_stream_issue_order_is_execution_order(ops):
+    sim = Simulator()
+    dev = GPUDevice(sim, DeviceSpec())
+    streams = [dev.create_stream(f"s{i}") for i in range(4)]
+    for stream_i, kind, amount in ops:
+        if kind == "kernel":
+            streams[stream_i].kernel(amount)
+        elif kind == "h2d":
+            streams[stream_i].memcpy_h2d(amount)
+        else:
+            streams[stream_i].memcpy_d2h(amount)
+    dev.synchronize()
+    # Every issued op completed exactly once.
+    assert len(dev.trace.intervals) == len(ops)
+    # Within each stream, completion order equals issue order.
+    per_stream_expected: dict[str, list[str]] = {}
+    for stream_i, kind, _ in ops:
+        per_stream_expected.setdefault(f"s{stream_i}", []).append(
+            "kernel" if kind == "kernel" else kind
+        )
+    by_end = sorted(dev.trace.intervals, key=lambda i: (i.end, i.start))
+    per_stream_got: dict[str, list[str]] = {}
+    for interval in by_end:
+        per_stream_got.setdefault(interval.stream, []).append(interval.category)
+    assert per_stream_got == per_stream_expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(op_strategy, min_size=1, max_size=25))
+def test_conservation_of_bytes_and_items(ops):
+    sim = Simulator()
+    dev = GPUDevice(sim, DeviceSpec())
+    streams = [dev.create_stream(f"s{i}") for i in range(4)]
+    totals = {"h2d": 0, "d2h": 0, "kernel": 0}
+    for stream_i, kind, amount in ops:
+        totals[kind] += amount
+        if kind == "kernel":
+            streams[stream_i].kernel(amount)
+        else:
+            streams[stream_i].enqueue(
+                __import__("repro.sim.stream", fromlist=["Memcpy"]).Memcpy(amount, kind)
+            )
+    dev.synchronize()
+    for cat in ("h2d", "d2h", "kernel"):
+        assert dev.trace.total_amount(cat) == totals[cat]
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(op_strategy, min_size=1, max_size=25))
+def test_makespan_bounded_by_serial_time(ops):
+    """Parallel execution never exceeds fully-serial execution, and is at
+
+    least as long as any single resource's demand."""
+    sim = Simulator()
+    dev = GPUDevice(sim, DeviceSpec())
+    spec = dev.spec
+    streams = [dev.create_stream(f"s{i}") for i in range(4)]
+    serial = 0.0
+    per_resource = {"h2d": 0.0, "d2h": 0.0}
+    for stream_i, kind, amount in ops:
+        if kind == "kernel":
+            streams[stream_i].kernel(amount)
+            serial += dev.kernel_time(amount)
+        else:
+            streams[stream_i].enqueue(
+                __import__("repro.sim.stream", fromlist=["Memcpy"]).Memcpy(amount, kind)
+            )
+            serial += dev.transfer_time(amount)
+            per_resource[kind] += amount / spec.pcie_bandwidth
+    dev.synchronize()
+    assert sim.now <= serial + 1e-9
+    for demand in per_resource.values():
+        assert sim.now >= demand - 1e-9

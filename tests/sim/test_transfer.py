@@ -1,0 +1,59 @@
+"""Figure-4 transfer-mechanism model: orderings the paper relies on."""
+
+import pytest
+
+from repro.sim.specs import DeviceSpec
+from repro.sim.transfer import MECHANISMS, PATTERNS, TransferModel
+
+
+@pytest.fixture
+def model():
+    return TransferModel(spec=DeviceSpec())
+
+
+N = 100_000_000  # the paper's 100M doubles
+
+
+def test_pinned_is_best_for_sequential(model):
+    times = model.compare(N)["sequential"]
+    assert times["pinned"] < times["explicit"] < times["managed"]
+
+
+def test_explicit_is_best_for_random(model):
+    times = model.compare(N)["random"]
+    assert times["explicit"] < times["managed"] < times["pinned"]
+
+
+def test_pinned_random_is_catastrophic(model):
+    times = model.compare(N)["random"]
+    assert times["pinned"] > 5 * times["explicit"]
+
+
+def test_throughput_is_inverse_of_time(model):
+    nbytes = N * 8
+    t = model.time("explicit", nbytes, 8, "sequential")
+    assert model.throughput("explicit", nbytes, 8, "sequential") == pytest.approx(
+        nbytes / t
+    )
+
+
+def test_compare_covers_all_cells(model):
+    table = model.compare(1_000_000)
+    assert set(table) == set(PATTERNS)
+    for row in table.values():
+        assert set(row) == set(MECHANISMS)
+        for v in row.values():
+            assert v > 0
+
+
+def test_sequential_scales_linearly(model):
+    t1 = model.time("pinned", 8 * 10**6, 8, "sequential")
+    t2 = model.time("pinned", 8 * 2 * 10**6, 8, "sequential")
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_unknown_inputs_rejected(model):
+    with pytest.raises(ValueError):
+        model.time("dma", 8, 8, "sequential")
+    with pytest.raises(ValueError):
+        model.time("pinned", 8, 8, "strided")

@@ -1,0 +1,89 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_graph, main
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import save_edgelist_txt, save_npz
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_datasets_lists_all(capsys):
+    code, out = run_cli(capsys, "datasets")
+    assert code == 0
+    for name in ("kron_g500-logn21", "ak2010", "orkut"):
+        assert name in out
+    assert "out-of-memory" in out and "in-memory" in out
+
+
+def test_info_shows_machine(capsys):
+    code, out = run_cli(capsys, "info")
+    assert code == 0
+    assert "K20c" in out
+    assert "PCIe" in out
+
+
+def test_run_on_dataset(capsys):
+    code, out = run_cli(
+        capsys, "run", "--graph", "delaunay_n13", "--algorithm", "bfs", "--source", "3"
+    )
+    assert code == 0
+    assert "converged=True" in out
+    assert "sim time" in out
+
+
+def test_run_unoptimized_flag(capsys):
+    code, out = run_cli(
+        capsys, "run", "--graph", "delaunay_n13", "--algorithm", "cc", "--unoptimized"
+    )
+    assert code == 0
+    assert "streaming" in out
+
+
+def test_run_on_file(tmp_path, capsys):
+    g = erdos_renyi(50, 200, seed=1)
+    path = tmp_path / "g.txt"
+    save_edgelist_txt(g, path)
+    code, out = run_cli(capsys, "run", "--graph", str(path), "--algorithm", "pagerank")
+    assert code == 0
+    assert "pagerank" in out
+
+
+def test_load_graph_npz(tmp_path):
+    g = erdos_renyi(30, 90, seed=2)
+    path = tmp_path / "g.npz"
+    save_npz(g, path)
+    h = load_graph(str(path))
+    assert h.num_edges == 90
+
+
+def test_unknown_graph_errors():
+    with pytest.raises(SystemExit):
+        load_graph("definitely-not-a-graph")
+
+
+def test_compare_runs_all_frameworks(capsys):
+    code, out = run_cli(
+        capsys, "compare", "--graph", "delaunay_n13", "--algorithm", "bfs"
+    )
+    assert code == 0
+    for fw in ("GraphReduce", "GraphChi", "X-Stream", "CuSha", "MapGraph", "Totem"):
+        assert fw in out
+
+
+def test_kcore_via_cli(capsys):
+    code, out = run_cli(
+        capsys, "run", "--graph", "delaunay_n13", "--algorithm", "kcore", "--k", "3"
+    )
+    assert code == 0
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
