@@ -5,16 +5,23 @@
     python -m repro run --graph orkut --algorithm bfs
     python -m repro run --graph path/to/edges.txt --algorithm pagerank
     python -m repro compare --graph kron_g500-logn21 --algorithm bfs
+    python -m repro trace --algo pagerank --out trace.json
+    python -m repro bench-check --snapshot benchmarks/BENCH_baseline.json
 
 ``run`` executes one algorithm under GraphReduce and prints the result
 summary plus the simulated performance profile; ``compare`` adds every
-baseline framework. Graphs are either Table-1 dataset names or paths to
-edge-list / ``.npz`` / MatrixMarket files.
+baseline framework; ``trace`` writes a Chrome ``trace_event`` JSON
+(open in chrome://tracing or Perfetto) plus the phase report; and
+``bench-check`` reruns the standard benchmark suite against a committed
+timing snapshot, exiting non-zero on regression. Graphs are either
+Table-1 dataset names or paths to edge-list / ``.npz`` / MatrixMarket
+files.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -133,6 +140,70 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.core.report import build_report
+    from repro.obs.export import memcpy_duration_us, result_to_chrome_trace
+
+    graph = prepare(load_graph(args.graph), args)
+    program = ALGORITHMS[args.algorithm](args)
+    opts = (
+        GraphReduceOptions.unoptimized()
+        if args.unoptimized
+        else GraphReduceOptions(num_partitions=args.partitions)
+    )
+    result = GraphReduce(graph, options=opts).run(program, max_iterations=args.max_iterations)
+    doc = result_to_chrome_trace(result)
+    Path(args.out).write_text(json.dumps(doc, separators=(",", ":")))
+    report = build_report(result)
+    trace_memcpy = memcpy_duration_us(doc) / 1e6
+    print(f"wrote {args.out}: {len(doc['traceEvents'])} events "
+          f"({result.iterations} iterations, {result.num_partitions} shards)")
+    print(f"open in chrome://tracing or https://ui.perfetto.dev (legacy trace)")
+    print(f"memcpy: trace {trace_memcpy:.6f} s vs report {report.memcpy_time:.6f} s")
+    print()
+    print(report.to_text())
+    # Defensive consistency gate: the trace must agree with the report.
+    if report.memcpy_time > 0 and abs(trace_memcpy - report.memcpy_time) > 0.01 * report.memcpy_time:
+        print("error: trace/report memcpy mismatch exceeds 1%", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench_check(args) -> int:
+    from repro.obs import bench
+
+    if args.update:
+        fresh = bench.run_suite()
+        tolerance = args.tolerance if args.tolerance is not None else bench.DEFAULT_TOLERANCE
+        path = bench.save_snapshot(args.snapshot, fresh, tolerance=tolerance)
+        print(f"wrote {path} ({len(fresh)} benchmarks)")
+        return 0
+    snapshot_path = Path(args.snapshot)
+    if not snapshot_path.exists():
+        print(f"error: snapshot {snapshot_path} not found "
+              "(run `repro bench-check --update` to create it)", file=sys.stderr)
+        return 2
+    doc = bench.load_snapshot(snapshot_path)
+    tolerance = args.tolerance if args.tolerance is not None else doc.get(
+        "tolerance", bench.DEFAULT_TOLERANCE
+    )
+    fresh = bench.run_suite(names=sorted(doc["benchmarks"]))
+    regressions = bench.compare(doc["benchmarks"], fresh, tolerance=tolerance)
+    for name in sorted(doc["benchmarks"]):
+        base = doc["benchmarks"][name].get("sim_time", 0.0)
+        cur = fresh[name].get("sim_time", 0.0)
+        ratio = cur / base if base else float("inf")
+        print(f"{name:20s} {base:12.6f}s -> {cur:12.6f}s  {ratio:6.2f}x")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {100 * tolerance:.0f}%:",
+              file=sys.stderr)
+        for reg in regressions:
+            print(f"  {reg}", file=sys.stderr)
+        return 1
+    print(f"\nok: no phase regressed beyond {100 * tolerance:.0f}%")
+    return 0
+
+
 def cmd_compare(args) -> int:
     from repro.baselines import CuSha, GraphChi, MapGraph, Totem, XStream
     from repro.sim.memory import DeviceOOMError
@@ -185,6 +256,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution-mode", choices=("bsp", "async"), default="bsp",
         help="bulk-synchronous phases (paper) or asynchronous sweeps",
     )
+
+    trace_p = sub.add_parser(
+        "trace", help="run one algorithm and write a Chrome trace_event JSON"
+    )
+    trace_p.add_argument(
+        "--algo", "--algorithm", dest="algorithm", required=True,
+        choices=sorted(ALGORITHMS),
+    )
+    trace_p.add_argument("--graph", default="delaunay_n13",
+                         help="dataset name or graph file (default: delaunay_n13)")
+    trace_p.add_argument("--out", default="trace.json", help="output trace path")
+    trace_p.add_argument("--unoptimized", action="store_true",
+                         help="trace the Figure-15 baseline configuration")
+    trace_p.add_argument("--partitions", type=int, default=None)
+    trace_p.add_argument("--source", type=int, default=0)
+    trace_p.add_argument("--tolerance", type=float, default=1e-3)
+    trace_p.add_argument("--k", type=int, default=3)
+    trace_p.add_argument("--max-iterations", type=int, default=100_000)
+
+    bench_p = sub.add_parser(
+        "bench-check",
+        help="rerun the benchmark suite against a committed timing snapshot",
+    )
+    bench_p.add_argument(
+        "--snapshot", default="benchmarks/BENCH_baseline.json",
+        help="snapshot path (default: benchmarks/BENCH_baseline.json)",
+    )
+    bench_p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative slowdown that counts as a regression "
+             "(default: the snapshot's recorded tolerance)",
+    )
+    bench_p.add_argument("--update", action="store_true",
+                         help="rewrite the snapshot from a fresh run")
     return parser
 
 
@@ -195,6 +300,8 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "run": cmd_run,
         "compare": cmd_compare,
+        "trace": cmd_trace,
+        "bench-check": cmd_bench_check,
     }
     return commands[args.command](args)
 

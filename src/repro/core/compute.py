@@ -33,6 +33,7 @@ from repro.core.api import GASProgram
 from repro.core.frontier import FrontierManager
 from repro.core.partition import Shard, ShardedGraph
 from repro.graph.csr import ragged_gather
+from repro.obs.span import NULL_OBSERVER
 
 
 @dataclass
@@ -70,11 +71,13 @@ class ComputeEngine:
         program: GASProgram,
         ctx,
         frontier: FrontierManager,
+        obs=None,
     ):
         self.sharded = sharded
         self.program = program
         self.ctx = ctx
         self.frontier = frontier
+        self.obs = obs if obs is not None else NULL_OBSERVER
         n = sharded.num_vertices
         self.vertex_values = np.asarray(program.init_vertices(ctx))
         if self.vertex_values.shape != (n,):
@@ -97,9 +100,14 @@ class ComputeEngine:
     def run_group(self, phases: tuple[str, ...], shard: Shard, count_full: bool) -> WorkItems:
         """Execute the given (possibly fused) phases on one shard."""
         work = WorkItems()
+        record = self.obs.enabled
         for phase in phases:
             fn = getattr(self, "_" + phase)
-            work += fn(shard, count_full)
+            w = fn(shard, count_full)
+            if record:
+                self.obs.add(f"compute.{phase}.edge_items", w.edge_items)
+                self.obs.add(f"compute.{phase}.vertex_items", w.vertex_items)
+            work += w
         return work
 
     # ------------------------------------------------------------------

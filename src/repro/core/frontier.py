@@ -17,12 +17,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.partition import ShardedGraph
+from repro.obs.span import NULL_OBSERVER
 
 
 class FrontierManager:
     """Active/changed vertex tracking over a sharded graph."""
 
-    def __init__(self, sharded: ShardedGraph, initial: np.ndarray):
+    def __init__(self, sharded: ShardedGraph, initial: np.ndarray, obs=None):
         n = sharded.num_vertices
         initial = np.asarray(initial, dtype=bool)
         if initial.shape != (n,):
@@ -30,6 +31,7 @@ class FrontierManager:
                 f"initial frontier must be a bool mask of length {n}, "
                 f"got shape {initial.shape}"
             )
+        self.obs = obs if obs is not None else NULL_OBSERVER
         self.sharded = sharded
         self.current = initial.copy()
         self.next = np.zeros(n, dtype=bool)
@@ -73,10 +75,12 @@ class FrontierManager:
     # ------------------------------------------------------------------
     def mark_changed(self, vids: np.ndarray) -> None:
         self.changed[vids] = True
+        self.obs.add("frontier.changes", len(vids))
 
     def activate_next(self, vids: np.ndarray) -> None:
         """FrontierActivate: these vertices are active next iteration."""
         self.next[vids] = True
+        self.obs.add("frontier.activations", len(vids))
 
     def advance(self) -> None:
         """BSP iteration boundary: promote next -> current."""
@@ -84,7 +88,9 @@ class FrontierManager:
         self.next[:] = False
         self.changed[:] = False
         self.iteration += 1
-        self.history.append(int(self.current.sum()))
+        size = int(self.current.sum())
+        self.history.append(size)
+        self.obs.observe("frontier.size", size)
 
     # ------------------------------------------------------------------
     # Figure-17 statistic

@@ -28,9 +28,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.api import GASProgram
+from repro.obs.span import NULL_OBSERVER
 
 #: Canonical phase order within one iteration (Figure 12).
 PHASES = ("gather_map", "gather_reduce", "apply", "scatter", "frontier_activate")
+
+
+def _record_plan(obs, plan: "list[PhaseGroup]", mode: str) -> None:
+    """Fusion-decision telemetry: how many groups the plan collapsed to,
+    how many phases were fused away and how many eliminated outright."""
+    total_phases = sum(len(g.phases) for g in plan)
+    obs.add("fusion.groups", len(plan))
+    obs.add("fusion.fused_phases", sum(len(g.phases) - 1 for g in plan))
+    obs.add("fusion.eliminated_phases", max(0, len(PHASES) - total_phases))
+    obs.event(
+        "fusion.plan",
+        category="fusion",
+        mode=mode,
+        groups=[g.name for g in plan],
+        phases=[list(g.phases) for g in plan],
+    )
 
 
 @dataclass(frozen=True)
@@ -75,7 +92,7 @@ def _out_buffers(program: GASProgram, for_scatter: bool) -> tuple[str, ...]:
     return tuple(bufs)
 
 
-def build_async_plan(program: GASProgram) -> list[PhaseGroup]:
+def build_async_plan(program: GASProgram, obs=None) -> list[PhaseGroup]:
     """The asynchronous-execution sweep (Section 2.1's alternative to BSP
 
     "for faster convergence"): one fused group runs every phase shard by
@@ -96,7 +113,7 @@ def build_async_plan(program: GASProgram) -> list[PhaseGroup]:
     h2d = tuple(dict.fromkeys(_in_buffers(program) + _out_buffers(program, program.has_scatter))) if program.has_gather else _out_buffers(program, program.has_scatter)
     d2h = ("out_edge_state",) if (program.has_scatter and program.edge_dtype is not None) else ()
     scratch = ("edge_update_array",) if program.has_gather else ()
-    return [
+    plan = [
         PhaseGroup(
             "async_sweep",
             phases,
@@ -106,10 +123,12 @@ def build_async_plan(program: GASProgram) -> list[PhaseGroup]:
             scratch_buffers=scratch,
         )
     ]
+    _record_plan(obs if obs is not None else NULL_OBSERVER, plan, "async")
+    return plan
 
 
 def build_plan(
-    program: GASProgram, optimized: bool = True, fuse_gather: bool = False
+    program: GASProgram, optimized: bool = True, fuse_gather: bool = False, obs=None
 ) -> list[PhaseGroup]:
     """The iteration's phase plan for ``program``.
 
@@ -118,8 +137,11 @@ def build_plan(
     keeps them separate (Figure 12 moves every phase's shards), so this
     is off by default and measured as an extension ablation.
     """
+    obs = obs if obs is not None else NULL_OBSERVER
     if not optimized:
-        return _unoptimized_plan(program)
+        plan = _unoptimized_plan(program)
+        _record_plan(obs, plan, "unoptimized")
+        return plan
 
     plan: list[PhaseGroup] = []
     if program.has_gather and fuse_gather:
@@ -192,6 +214,7 @@ def build_plan(
                 d2h_buffers=(),
             )
         )
+    _record_plan(obs, plan, "bsp")
     return plan
 
 

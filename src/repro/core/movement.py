@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from repro.core.compute import WorkItems
 from repro.core.fusion import PhaseGroup
 from repro.core.partition import Shard, ShardedGraph
+from repro.obs.span import NULL_OBSERVER
 from repro.sim.device import GPUDevice
 from repro.sim.resources import FluidResource
 from repro.sim.stream import Kernel, Memcpy, ResourceOp, StreamEvent
@@ -97,12 +98,14 @@ class DataMovementEngine:
         config: MovementConfig,
         with_weights: bool,
         with_edge_state: bool,
+        obs=None,
     ):
         self.device = device
         self.sharded = sharded
         self.config = config
         self.with_weights = with_weights
         self.with_edge_state = with_edge_state
+        self.obs = obs if obs is not None else NULL_OBSERVER
         #: SSD backing: (shared FluidResource, spilled fraction of every
         #: host read) or None when the graph fits host DRAM.
         self.ssd: tuple[FluidResource, float] | None = None
@@ -151,6 +154,8 @@ class DataMovementEngine:
             stream.memcpy_h2d(nbytes, label=f"resident:{name}")
             self.stats.h2d_count += 1
             self.stats.h2d_bytes += nbytes
+            self.obs.add("movement.h2d.bytes", nbytes)
+            self.obs.add("movement.h2d.copies")
         self.device.synchronize()
 
     def reserve_stage_slots(self) -> int:
@@ -228,8 +233,10 @@ class DataMovementEngine:
             self._lru.move_to_end(shard.index)
             self._lru_touch[shard.index] = self.current_iteration
             self.stats.cache_hits += 1
+            self.obs.add("movement.cache.hits")
             return True
         self.stats.cache_misses += 1
+        self.obs.add("movement.cache.misses")
         nbytes = shard.total_bytes(self.with_weights, self.with_edge_state)
         # Evict only *cold* shards (untouched for two iterations, i.e.
         # the frontier genuinely moved away). Evicting recently used
@@ -245,6 +252,7 @@ class DataMovementEngine:
             self._lru_touch.pop(oldest, None)
             self.device.memory.free(f"lru:{oldest}")
             self.stats.cache_evictions += 1
+            self.obs.add("movement.cache.evictions")
         if self.device.memory.free_bytes < nbytes:
             return False
         self.device.memory.alloc(f"lru:{shard.index}", nbytes)
@@ -278,25 +286,36 @@ class DataMovementEngine:
         kernel would have executed.
         """
         self.stats.shards_skipped += skipped
+        if skipped:
+            self.obs.add("movement.shards.skipped", skipped)
         for i, shard in enumerate(shards):
             stream_i = i % self.k
             stream = self.streams[stream_i]
             work = compute(shard)
-            resident = self._cached or self._lru_acquire(shard, stream, stream_i)
-            if not resident:
-                h2d = shard.expand_buffers(
-                    group.h2d_buffers, self.with_weights, self.with_edge_state
-                )
-                self._issue_copies(stream, stream_i, h2d, "h2d", f"{group.name}:{shard.index}")
-            self._issue_kernel(stream, group, shard, work)
-            if not resident:
-                d2h = shard.expand_buffers(
-                    group.d2h_buffers, self.with_weights, self.with_edge_state
-                )
-                self._issue_copies(stream, stream_i, d2h, "d2h", f"{group.name}:{shard.index}")
-            self.stats.shards_processed += 1
-            if not self.config.async_streams:
-                self.device.synchronize()  # fully synchronous baseline
+            with self.obs.span(
+                "shard",
+                category="shard",
+                shard=shard.index,
+                group=group.name,
+                stream=stream_i,
+            ) as shard_span:
+                resident = self._cached or self._lru_acquire(shard, stream, stream_i)
+                if not resident:
+                    h2d = shard.expand_buffers(
+                        group.h2d_buffers, self.with_weights, self.with_edge_state
+                    )
+                    self._issue_copies(stream, stream_i, h2d, "h2d", f"{group.name}:{shard.index}")
+                self._issue_kernel(stream, group, shard, work)
+                if not resident:
+                    d2h = shard.expand_buffers(
+                        group.d2h_buffers, self.with_weights, self.with_edge_state
+                    )
+                    self._issue_copies(stream, stream_i, d2h, "d2h", f"{group.name}:{shard.index}")
+                shard_span.set(resident=resident, items=work.total)
+                self.stats.shards_processed += 1
+                self.obs.add("movement.shards.processed")
+                if not self.config.async_streams:
+                    self.device.synchronize()  # fully synchronous baseline
         if barrier:
             # BSP barrier between phases. Multi-device callers pass
             # barrier=False, issue every device's work, then synchronize
@@ -309,6 +328,8 @@ class DataMovementEngine:
         self.streams[0].memcpy_d2h(frontier_bytes, label="frontier")
         self.stats.d2h_count += 1
         self.stats.d2h_bytes += frontier_bytes
+        self.obs.add("movement.d2h.bytes", frontier_bytes)
+        self.obs.add("movement.d2h.copies")
         self.device.synchronize()
 
     # ------------------------------------------------------------------
@@ -318,12 +339,15 @@ class DataMovementEngine:
         buffers = {k: v for k, v in buffers.items() if v > 0}
         if not buffers:
             return
+        nbytes = sum(buffers.values())
         if direction == "h2d":
             self.stats.h2d_count += len(buffers)
-            self.stats.h2d_bytes += sum(buffers.values())
+            self.stats.h2d_bytes += nbytes
         else:
             self.stats.d2h_count += len(buffers)
-            self.stats.d2h_bytes += sum(buffers.values())
+            self.stats.d2h_bytes += nbytes
+        self.obs.add(f"movement.{direction}.bytes", nbytes)
+        self.obs.add(f"movement.{direction}.copies", len(buffers))
         agg = self.stats.per_group_bytes
         agg[label.split(":")[0]] = agg.get(label.split(":")[0], 0) + sum(buffers.values())
         def ssd_fetch(target_stream, name: str, nbytes: int) -> None:
@@ -340,6 +364,8 @@ class DataMovementEngine:
                 )
 
         if self.config.spray and len(buffers) > 1:
+            self.obs.add("movement.spray.batches")
+            self.obs.add("movement.spray.copies", len(buffers))
             # Deep copies sprayed over dynamically created streams; the
             # issuing stream joins them via events (Figure 11(b)). D2H
             # sprays additionally gate on the issuing stream (the kernel
@@ -383,3 +409,5 @@ class DataMovementEngine:
         )
         self.stats.kernel_launches += 1
         self.stats.kernel_items += work.total
+        self.obs.add("movement.kernel.launches")
+        self.obs.add("movement.kernel.items", work.total)

@@ -1,10 +1,22 @@
-"""Execution reports: phase-level breakdowns from the device trace.
+"""Execution reports: phase-level breakdowns from the span tree + trace.
 
 Turns a :class:`~repro.core.runtime.GraphReduceResult` into the
 engineering view the paper's Section 6.2.3 discussion is based on --
 where the time went (which phase, transfers vs kernels), how much
 overlap the asynchronous schedule achieved, and what frontier skipping
 saved.
+
+Two sources feed the report:
+
+* the runtime's **span tree** (:mod:`repro.obs`), which contributes the
+  per-phase wall time (sum of the phase spans' barrier-to-barrier
+  windows) and the structural shard counts; and
+* the device **interval trace**, which contributes the byte and
+  transfer/kernel-time attribution per phase label.
+
+When the run carried no observer (``options.observe = False``) the
+report falls back to the interval trace alone, exactly the pre-span
+behaviour.
 """
 
 from __future__ import annotations
@@ -24,6 +36,12 @@ class PhaseBreakdown:
     transfer_time: float = 0.0
     kernel_time: float = 0.0
     kernel_launches: int = 0
+    #: summed duration of this phase's spans (barrier to barrier); 0.0
+    #: when the run carried no observer
+    wall_time: float = 0.0
+    #: shards streamed / skipped for this phase across all iterations
+    shards: int = 0
+    skipped: int = 0
 
     @property
     def total_time(self) -> float:
@@ -38,6 +56,9 @@ class ExecutionReport:
     overlap_efficiency: float
     shard_skip_rate: float
     phases: dict[str, PhaseBreakdown] = field(default_factory=dict)
+    iterations: int = 0
+    #: counter snapshot from the observer ({} without one)
+    counters: dict = field(default_factory=dict)
 
     def to_text(self) -> str:
         lines = [
@@ -46,23 +67,40 @@ class ExecutionReport:
             f"overlap efficiency : {100 * self.overlap_efficiency:.1f}% "
             "(busy work hidden per unit makespan)",
             f"shards skipped     : {100 * self.shard_skip_rate:.1f}%",
+            f"iterations         : {self.iterations}",
             "",
             f"{'phase':18s} {'H2D':>10s} {'D2H':>10s} {'xfer (s)':>10s} "
-            f"{'kernel (s)':>11s} {'launches':>9s}",
+            f"{'kernel (s)':>11s} {'launches':>9s} {'wall (s)':>10s}",
         ]
         for name, ph in sorted(self.phases.items(), key=lambda kv: -kv[1].total_time):
             lines.append(
                 f"{name:18s} {ph.h2d_bytes / 2**20:8.2f}MB {ph.d2h_bytes / 2**20:8.2f}MB "
-                f"{ph.transfer_time:10.6f} {ph.kernel_time:11.6f} {ph.kernel_launches:9d}"
+                f"{ph.transfer_time:10.6f} {ph.kernel_time:11.6f} {ph.kernel_launches:9d} "
+                f"{ph.wall_time:10.6f}"
             )
         return "\n".join(lines)
 
 
 def build_report(result: GraphReduceResult) -> ExecutionReport:
-    """Aggregate the trace by phase-group label prefixes."""
+    """Aggregate the span tree and trace by phase-group name."""
     if result.trace is None or not result.trace.enabled:
         raise ValueError("result carries no trace (options.trace was off)")
     phases: dict[str, PhaseBreakdown] = {}
+    counters: dict = {}
+
+    observer = getattr(result, "observer", None)
+    if observer is not None and observer.enabled:
+        # Span tree first: every phase the runtime entered appears in the
+        # report even when it moved no bytes (fully resident/cached runs).
+        for sp in observer.find(category="phase"):
+            ph = phases.setdefault(sp.name, PhaseBreakdown(sp.name))
+            ph.wall_time += sp.duration
+            ph.shards += int(sp.attrs.get("shards", 0))
+            ph.skipped += int(sp.attrs.get("skipped", 0))
+        counters = {
+            name: c.value for name, c in sorted(observer.metrics.counters.items())
+        }
+
     for interval in result.trace.intervals:
         name = interval.label.split(":", 1)[0] if interval.label else "(unlabeled)"
         ph = phases.setdefault(name, PhaseBreakdown(name))
@@ -75,6 +113,7 @@ def build_report(result: GraphReduceResult) -> ExecutionReport:
         elif interval.category == "kernel":
             ph.kernel_time += interval.duration
             ph.kernel_launches += 1
+
     busy = result.memcpy_time + result.kernel_time
     overlap = 0.0
     if result.sim_time > 0 and busy > 0:
@@ -90,4 +129,6 @@ def build_report(result: GraphReduceResult) -> ExecutionReport:
         overlap_efficiency=overlap,
         shard_skip_rate=skip_rate,
         phases=phases,
+        iterations=result.iterations,
+        counters=counters,
     )

@@ -32,6 +32,7 @@ from repro.core.fusion import PhaseGroup, build_async_plan, build_plan
 from repro.core.movement import DataMovementEngine, MovementConfig, MovementStats
 from repro.core.partition import PartitionEngine, ShardedGraph
 from repro.graph.edgelist import EdgeList
+from repro.obs.span import NULL_OBSERVER, Observer
 from repro.sim.device import GPUDevice
 from repro.sim.engine import Simulator
 from repro.sim.specs import MachineSpec, default_machine
@@ -74,6 +75,10 @@ class GraphReduceOptions:
     host_backing: str = "dram"
     max_iterations: int = 100_000
     trace: bool = True
+    #: structured observability (hierarchical spans + typed counters,
+    #: see :mod:`repro.obs`); when off the runtime uses the shared
+    #: no-op recorder and the instrumentation costs one method call
+    observe: bool = True
 
     @staticmethod
     def unoptimized() -> "GraphReduceOptions":
@@ -154,6 +159,8 @@ class GraphReduceResult:
     trace: "TraceRecorder | None" = None
     #: per-iteration frontier/traffic/time breakdown
     iteration_stats: list[IterationStat] = field(default_factory=list)
+    #: span tree + metrics of the run (None when options.observe is off)
+    observer: "Observer | None" = None
 
     @property
     def memcpy_fraction(self) -> float:
@@ -198,25 +205,35 @@ class GraphReduce:
             edges = edges.with_unit_weights()
         ctx = RuntimeContext(edges)
 
+        # --- Simulated device + observability --------------------------
+        sim = Simulator()
+        obs = Observer(clock=lambda: sim.now) if opts.observe else NULL_OBSERVER
+        run_span_cm = obs.span(
+            "run", category="run", algo=program.name, graph=edges.name
+        )
+        run_span = run_span_cm.__enter__()
+
         # --- Partition Engine -----------------------------------------
         with_weights = program.needs_weights
         with_state = program.edge_dtype is not None
         resident_bytes = self._resident_bytes(program, edges.num_vertices)
-        p = opts.num_partitions or PartitionEngine.choose_num_partitions(
-            edges,
-            self.machine.device.memory_bytes,
-            with_weights,
-            with_state,
-            resident_bytes,
-        )
-        key = (p, opts.partition_logic, with_weights, id(edges))
-        sharded = self._sharded_cache.get(key)
-        if sharded is None:
-            sharded = self.partition_engine.partition(edges, p, opts.partition_logic)
-            self._sharded_cache[key] = sharded
+        with obs.span("partition", category="setup") as part_span:
+            p = opts.num_partitions or PartitionEngine.choose_num_partitions(
+                edges,
+                self.machine.device.memory_bytes,
+                with_weights,
+                with_state,
+                resident_bytes,
+            )
+            key = (p, opts.partition_logic, with_weights, id(edges))
+            sharded = self._sharded_cache.get(key)
+            if sharded is None:
+                sharded = self.partition_engine.partition(edges, p, opts.partition_logic)
+                self._sharded_cache[key] = sharded
+            part_span.set(
+                num_partitions=sharded.num_partitions, logic=opts.partition_logic
+            )
 
-        # --- Simulated device -----------------------------------------
-        sim = Simulator()
         device = GPUDevice(sim, self.machine.device, TraceRecorder(enabled=opts.trace))
         movement = DataMovementEngine(
             device,
@@ -224,6 +241,7 @@ class GraphReduce:
             MovementConfig(async_streams=opts.async_streams, spray=opts.spray),
             with_weights,
             with_state,
+            obs=obs,
         )
         if opts.host_backing == "ssd":
             from repro.sim.resources import FluidResource
@@ -239,29 +257,36 @@ class GraphReduce:
             movement.ssd = (ssd, spill)
         elif opts.host_backing != "dram":
             raise ValueError(f"unknown host_backing {opts.host_backing!r}")
-        movement.upload_resident(self._resident_buffers(program, edges.num_vertices))
+        with obs.span("resident", category="phase"):
+            movement.upload_resident(self._resident_buffers(program, edges.num_vertices))
         in_memory = False
-        if opts.cache_policy == "auto":
-            from repro.graph.properties import footprint_bytes
+        with obs.span("cache", category="phase") as cache_span:
+            if opts.cache_policy == "auto":
+                from repro.graph.properties import footprint_bytes
 
-            if footprint_bytes(edges) <= self.machine.device.memory_bytes:
+                if footprint_bytes(edges) <= self.machine.device.memory_bytes:
+                    in_memory = movement.cache_all_shards()
+            elif opts.cache_policy == "greedy":
                 in_memory = movement.cache_all_shards()
-        elif opts.cache_policy == "greedy":
-            in_memory = movement.cache_all_shards()
-        elif opts.cache_policy not in ("never", "lru"):
-            raise ValueError(f"unknown cache_policy {opts.cache_policy!r}")
-        if not in_memory:
-            movement.reserve_stage_slots()
-            if opts.cache_policy == "lru":
-                movement.enable_lru_cache()
+            elif opts.cache_policy not in ("never", "lru"):
+                raise ValueError(f"unknown cache_policy {opts.cache_policy!r}")
+            if not in_memory:
+                movement.reserve_stage_slots()
+                if opts.cache_policy == "lru":
+                    movement.enable_lru_cache()
+            cache_span.set(policy=opts.cache_policy, in_memory=in_memory, k=movement.k)
 
         # --- Compute side ----------------------------------------------
-        frontier = FrontierManager(sharded, np.asarray(program.init_frontier(ctx), dtype=bool))
-        compute = ComputeEngine(sharded, program, ctx, frontier)
+        frontier = FrontierManager(
+            sharded, np.asarray(program.init_frontier(ctx), dtype=bool), obs=obs
+        )
+        compute = ComputeEngine(sharded, program, ctx, frontier, obs=obs)
         if opts.execution_mode == "async":
-            plan = build_async_plan(program)
+            plan = build_async_plan(program, obs=obs)
         elif opts.execution_mode == "bsp":
-            plan = build_plan(program, optimized=opts.fusion, fuse_gather=opts.fuse_gather)
+            plan = build_plan(
+                program, optimized=opts.fusion, fuse_gather=opts.fuse_gather, obs=obs
+            )
         else:
             raise ValueError(f"unknown execution_mode {opts.execution_mode!r}")
 
@@ -286,17 +311,32 @@ class GraphReduce:
             proc0, skip0 = movement.stats.shards_processed, movement.stats.shards_skipped
             compute.begin_iteration(iteration)
             movement.current_iteration = iteration
-            for group in plan:
-                shards, skipped = self._select_shards(group, sharded, frontier, opts)
-                movement.run_phase(
-                    group,
-                    shards,
-                    skipped,
-                    lambda shard, g=group: compute.run_group(
-                        g.phases, shard, count_full=not opts.frontier_skipping
-                    ),
+            with obs.span(
+                "iteration", category="iteration", index=iteration, frontier=frontier_size
+            ) as it_span:
+                for group in plan:
+                    shards, skipped = self._select_shards(group, sharded, frontier, opts)
+                    with obs.span(
+                        group.name,
+                        category="phase",
+                        selector=group.selector,
+                        shards=len(shards),
+                        skipped=skipped,
+                    ):
+                        movement.run_phase(
+                            group,
+                            shards,
+                            skipped,
+                            lambda shard, g=group: compute.run_group(
+                                g.phases, shard, count_full=not opts.frontier_skipping
+                            ),
+                        )
+                with obs.span("frontier", category="phase"):
+                    movement.iteration_sync(frontier_bytes)
+                it_span.set(
+                    h2d_bytes=movement.stats.h2d_bytes - h2d0,
+                    d2h_bytes=movement.stats.d2h_bytes - d2h0,
                 )
-            movement.iteration_sync(frontier_bytes)
             iteration_stats.append(
                 IterationStat(
                     iteration=iteration,
@@ -308,11 +348,14 @@ class GraphReduce:
                     shards_skipped=movement.stats.shards_skipped - skip0,
                 )
             )
+            obs.add("runtime.iterations")
             frontier.advance()
             iteration += 1
         else:
             converged = frontier.size == 0
 
+        run_span.set(iterations=iteration, converged=converged)
+        run_span_cm.__exit__(None, None, None)
         trace = device.trace
         return GraphReduceResult(
             vertex_values=compute.vertex_values,
@@ -330,6 +373,7 @@ class GraphReduce:
             edge_state=compute.edge_state,
             trace=trace,
             iteration_stats=iteration_stats,
+            observer=obs if opts.observe else None,
         )
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.core.partition import PartitionEngine
 from repro.core.runtime import GraphReduce, GraphReduceOptions, RuntimeContext
 from repro.graph.csr import build_csc, build_csr, ragged_gather
 from repro.graph.edgelist import EdgeList
+from repro.obs.span import NULL_OBSERVER, Observer
 from repro.sim.specs import HostSpec, MachineSpec, default_machine
 
 
@@ -49,6 +50,8 @@ class AdaptiveResult:
     cpu_time: float
     switch_time: float
     switches: int
+    #: span tree + metrics (None when observe=False)
+    observer: "Observer | None" = None
 
 
 @dataclass(frozen=True)
@@ -73,11 +76,13 @@ class AdaptiveEngine:
         machine: MachineSpec | None = None,
         config: AdaptiveConfig | None = None,
         num_partitions: int | None = None,
+        observe: bool = True,
     ):
         self.edges = edges
         self.machine = machine or default_machine()
         self.config = config or AdaptiveConfig()
         self.num_partitions = num_partitions
+        self.observe = observe
 
     # ------------------------------------------------------------------
     def _iteration_costs(self, active_edges: int, active_bytes: int, phases: int):
@@ -126,6 +131,12 @@ class AdaptiveEngine:
         switches = 0
         converged = False
         iteration = 0
+        # The adaptive engine has no event simulator; its clock is the
+        # accumulated predicted time, so spans still line up end to end.
+        clock = {"now": 0.0}
+        obs = Observer(clock=lambda: clock["now"]) if self.observe else NULL_OBSERVER
+        run_cm = obs.span("run", category="run", algo=program.name, graph=edges.name)
+        run_span = run_cm.__enter__()
         while iteration < max_iterations:
             if program.always_active:
                 frontier[:] = True
@@ -150,11 +161,27 @@ class AdaptiveEngine:
                     side = want
                     switches += 1
                     switch_time += transfer
+                    clock["now"] += transfer
+                    obs.add("adaptive.switches")
+                    obs.event("switch", category="adaptive", to=side)
             placement.append(side)
+            it_cm = obs.span(
+                "iteration",
+                category="iteration",
+                index=iteration,
+                placement=side,
+                frontier=len(active),
+            )
+            it_cm.__enter__()
             if side == "gpu":
                 gpu_time += gpu_cost
+                clock["now"] += gpu_cost
+                obs.add("adaptive.gpu_iterations")
             else:
                 cpu_time += cpu_cost
+                clock["now"] += cpu_cost
+                obs.add("adaptive.cpu_iterations")
+            it_cm.__exit__(None, None, None)
 
             # ---- semantic execution (identical on both sides) --------
             gathered = np.full(len(active), program.gather_identity, dtype=program.gather_dtype)
@@ -189,6 +216,8 @@ class AdaptiveEngine:
         else:
             converged = frontier.sum() == 0
 
+        run_span.set(iterations=iteration, converged=converged, switches=switches)
+        run_cm.__exit__(None, None, None)
         return AdaptiveResult(
             vertex_values=values,
             iterations=iteration,
@@ -199,4 +228,5 @@ class AdaptiveEngine:
             cpu_time=cpu_time,
             switch_time=switch_time,
             switches=switches,
+            observer=obs if self.observe else None,
         )

@@ -1,0 +1,40 @@
+"""Structured observability: spans, metrics, exporters, regression checks.
+
+The paper's evaluation is built on per-phase measurement -- Figure 15's
+memcpy/kernel breakdown, Figure 5's compute-transfer overlap, Figures
+16-17's frontier-skip savings. This package gives the runtime a
+first-class version of that instrumentation:
+
+* :mod:`repro.obs.span` -- hierarchical spans (run -> iteration ->
+  phase -> shard) over the simulated clock, recorded through a
+  context-manager API with a zero-overhead no-op recorder when disabled;
+* :mod:`repro.obs.metrics` -- typed counters and histograms (bytes
+  moved, kernels launched, shards skipped, fusion decisions);
+* :mod:`repro.obs.export` -- JSON and Chrome ``trace_event`` exporters,
+  so a run opens directly in ``chrome://tracing`` / Perfetto;
+* :mod:`repro.obs.bench` -- phase-timing snapshots and the
+  ``repro bench-check`` regression comparison.
+"""
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.span import NULL_OBSERVER, NoopObserver, Observer, Span
+from repro.obs.export import (
+    observer_to_json,
+    result_to_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NoopObserver",
+    "Observer",
+    "Span",
+    "observer_to_json",
+    "result_to_chrome_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

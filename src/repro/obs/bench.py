@@ -1,0 +1,157 @@
+"""Phase-timing snapshots and the ``repro bench-check`` regression gate.
+
+The simulator is deterministic: the same graph, program and options
+produce bit-identical phase timings on every machine and Python
+version. A committed ``BENCH_*.json`` snapshot therefore acts as a
+golden performance baseline -- any change that slows a phase by more
+than the tolerance is a real modeling/scheduling regression, not noise.
+
+``run_suite`` executes the small standard workload set, ``compare``
+diffs a fresh run against the snapshot, and the CLI wires both into
+``repro bench-check`` (non-zero exit on regression) so CI can gate on
+it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+#: Default relative slowdown that counts as a regression (10%).
+DEFAULT_TOLERANCE = 0.10
+#: Phases shorter than this (seconds) are ignored: relative comparisons
+#: on near-zero timings amplify representation noise into false alarms.
+MIN_SECONDS = 1e-7
+
+SNAPSHOT_VERSION = 1
+
+#: Default committed snapshot, relative to a repo checkout.
+DEFAULT_SNAPSHOT = Path("benchmarks") / "BENCH_baseline.json"
+
+
+def _suite_cases() -> dict[str, Callable]:
+    """name -> zero-arg callable returning (edges, program, options).
+
+    Imports live inside the function so ``repro.obs`` stays importable
+    without pulling the whole runtime in.
+    """
+    from repro.algorithms import BFS, ConnectedComponents, PageRank, SSSP
+    from repro.core.runtime import GraphReduceOptions
+    from repro.graph.generators import erdos_renyi, rmat
+
+    streaming = GraphReduceOptions(cache_policy="never")
+    return {
+        "pagerank_rmat12": lambda: (rmat(12, 40_000, seed=7), PageRank(tolerance=1e-3), streaming),
+        "bfs_rmat12": lambda: (rmat(12, 40_000, seed=7), BFS(source=0), streaming),
+        "sssp_er": lambda: (
+            erdos_renyi(2_000, 16_000, seed=11).with_random_weights(seed=11),
+            SSSP(source=0),
+            streaming,
+        ),
+        "cc_er": lambda: (
+            erdos_renyi(2_000, 16_000, seed=13).symmetrized(),
+            ConnectedComponents(),
+            streaming,
+        ),
+    }
+
+
+def measure(result) -> dict:
+    """Phase timings of one finished run, in snapshot form."""
+    from repro.core.report import build_report
+
+    report = build_report(result)
+    return {
+        "sim_time": result.sim_time,
+        "memcpy_time": result.memcpy_time,
+        "kernel_time": result.kernel_time,
+        "iterations": result.iterations,
+        "phases": {name: ph.total_time for name, ph in sorted(report.phases.items())},
+    }
+
+
+def run_suite(names: list[str] | None = None) -> dict:
+    """Run the standard suite; returns ``{name: measurement}``."""
+    from repro.core.runtime import GraphReduce
+
+    cases = _suite_cases()
+    unknown = set(names or ()) - set(cases)
+    if unknown:
+        raise KeyError(f"unknown benchmarks {sorted(unknown)}; have {sorted(cases)}")
+    out = {}
+    for name in names or sorted(cases):
+        edges, program, options = cases[name]()
+        result = GraphReduce(edges, options=options).run(program)
+        out[name] = measure(result)
+    return out
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that got slower than the snapshot allows."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    fresh: float
+
+    @property
+    def ratio(self) -> float:
+        return self.fresh / self.baseline if self.baseline else float("inf")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.benchmark}/{self.metric}: {self.baseline:.6f}s -> "
+            f"{self.fresh:.6f}s ({self.ratio:.2f}x)"
+        )
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_seconds: float = MIN_SECONDS,
+) -> list[Regression]:
+    """Regressions of ``fresh`` against the ``baseline`` snapshot.
+
+    Compares ``sim_time``, ``memcpy_time``, ``kernel_time`` and every
+    per-phase total; a metric regresses when the fresh value exceeds
+    baseline * (1 + tolerance) and the baseline is above the noise
+    floor. Benchmarks present on only one side are skipped (adding or
+    retiring a benchmark is not a regression).
+    """
+    regressions = []
+    for name, base in baseline.items():
+        cur = fresh.get(name)
+        if cur is None:
+            continue
+        pairs = [(m, base.get(m), cur.get(m)) for m in ("sim_time", "memcpy_time", "kernel_time")]
+        pairs += [
+            (f"phase:{ph}", b, cur.get("phases", {}).get(ph))
+            for ph, b in base.get("phases", {}).items()
+        ]
+        for metric, b, f in pairs:
+            if b is None or f is None or b < min_seconds:
+                continue
+            if f > b * (1.0 + tolerance):
+                regressions.append(Regression(name, metric, b, f))
+    return regressions
+
+
+def load_snapshot(path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot {path} has version {doc.get('version')!r}; "
+            f"expected {SNAPSHOT_VERSION}"
+        )
+    return doc
+
+
+def save_snapshot(path, benchmarks: dict, tolerance: float = DEFAULT_TOLERANCE) -> Path:
+    path = Path(path)
+    doc = {"version": SNAPSHOT_VERSION, "tolerance": tolerance, "benchmarks": benchmarks}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,110 @@
+"""Typed counters and histograms.
+
+Counters accumulate monotone totals (bytes over PCIe, kernel launches,
+shards skipped by the Frontier Manager, fusion decisions); histograms
+summarize distributions (frontier sizes, per-copy bytes) with power-of-
+two buckets so the summary stays O(64) regardless of run length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically growing total."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        v = self.value
+        return {"value": int(v) if float(v).is_integer() else v}
+
+
+@dataclass
+class Histogram:
+    """Summary statistics plus log2 buckets.
+
+    ``buckets[k]`` counts observations ``v`` with
+    ``2**(k-1) < v <= 2**k`` (``k == 0`` collects everything <= 1,
+    including zeros and negatives).
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        k = 0 if value <= 1 else math.ceil(math.log2(value))
+        self.buckets[k] = self.buckets.get(k, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed counters and histograms.
+
+    ``add``/``observe`` create the instrument on first use, so call
+    sites do not need registration boilerplate.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def add(self, name: str, n: float = 1.0) -> None:
+        self.counter(name).add(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        c = self.counters.get(name)
+        return default if c is None else c.value
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": {n: c.to_dict() for n, c in sorted(self.counters.items())},
+            "histograms": {n: h.to_dict() for n, h in sorted(self.histograms.items())},
+        }

@@ -1,0 +1,115 @@
+"""Property tests for the Partition Engine (hypothesis).
+
+Invariants from Section 4.2: the vertex intervals are a disjoint cover
+of [0, n); every edge lands in exactly one shard's in-edge set and one
+shard's out-edge set; within a shard the in-edges stay sorted by
+destination and the out-edges by source; and the edge-balanced logic
+keeps every shard's (in + out) load within one vertex's worth of the
+ideal total/p split.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    PartitionEngine,
+    edge_balanced_intervals,
+    vertex_balanced_intervals,
+)
+from repro.graph.edgelist import EdgeList
+
+
+@st.composite
+def graphs_and_p(draw, max_vertices=40, max_edges=120, max_partitions=8):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    vid = st.integers(min_value=0, max_value=n - 1)
+    src = draw(st.lists(vid, min_size=m, max_size=m))
+    dst = draw(st.lists(vid, min_size=m, max_size=m))
+    p = draw(st.integers(min_value=1, max_value=max_partitions))
+    edges = EdgeList(n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64))
+    return edges, p
+
+
+class TestBoundaries:
+    @settings(max_examples=100)
+    @given(gp=graphs_and_p())
+    def test_both_logics_produce_valid_boundaries(self, gp):
+        edges, p = gp
+        for logic in (edge_balanced_intervals, vertex_balanced_intervals):
+            b = logic(edges, p)
+            assert len(b) == p + 1
+            assert b[0] == 0 and b[-1] == edges.num_vertices
+            assert np.all(np.diff(b) >= 0)
+
+    @settings(max_examples=100)
+    @given(gp=graphs_and_p())
+    def test_intervals_cover_vertices_disjointly(self, gp):
+        edges, p = gp
+        sharded = PartitionEngine().partition(edges, p)
+        covered = np.concatenate(
+            [np.arange(s.start, s.stop) for s in sharded.shards]
+        )
+        assert np.array_equal(covered, np.arange(edges.num_vertices))
+        for v in range(edges.num_vertices):
+            i = sharded.interval_of(v)
+            assert sharded.shards[i].start <= v < sharded.shards[i].stop
+
+
+class TestShardEdges:
+    @settings(max_examples=100)
+    @given(gp=graphs_and_p())
+    def test_every_edge_in_exactly_one_shard_per_layout(self, gp):
+        edges, p = gp
+        sharded = PartitionEngine().partition(edges, p)
+        in_ids = np.concatenate([s.csc.edge_ids for s in sharded.shards])
+        out_ids = np.concatenate([s.csr.edge_ids for s in sharded.shards])
+        assert np.array_equal(np.sort(in_ids), np.arange(edges.num_edges))
+        assert np.array_equal(np.sort(out_ids), np.arange(edges.num_edges))
+
+    @settings(max_examples=100)
+    @given(gp=graphs_and_p())
+    def test_shard_layouts_match_global_adjacency(self, gp):
+        edges, p = gp
+        sharded = PartitionEngine().partition(edges, p)
+        for s in sharded.shards:
+            rows = np.repeat(
+                np.arange(s.start, s.stop), np.diff(s.csc.indptr)
+            )
+            # In-edges: slot rows are the destinations (sorted), indices
+            # the sources, edge_ids the original positions.
+            assert np.array_equal(edges.dst[s.csc.edge_ids], rows)
+            assert np.array_equal(edges.src[s.csc.edge_ids], s.csc.indices)
+            assert np.all(np.diff(rows) >= 0)
+            out_rows = np.repeat(
+                np.arange(s.start, s.stop), np.diff(s.csr.indptr)
+            )
+            assert np.array_equal(edges.src[s.csr.edge_ids], out_rows)
+            assert np.array_equal(edges.dst[s.csr.edge_ids], s.csr.indices)
+            assert np.all(np.diff(out_rows) >= 0)
+
+
+class TestEdgeBalance:
+    @settings(max_examples=100)
+    @given(gp=graphs_and_p())
+    def test_load_within_one_vertex_of_ideal(self, gp):
+        """Contiguous prefix-sum splitting cannot beat vertex
+        granularity: shard load <= total/p + the heaviest single vertex."""
+        edges, p = gp
+        sharded = PartitionEngine().partition(edges, p, logic="edge_balanced")
+        load = edges.out_degrees() + edges.in_degrees()
+        total = int(load.sum())
+        max_vertex = int(load.max()) if edges.num_vertices else 0
+        for s in sharded.shards:
+            shard_load = int(load[s.start : s.stop].sum())
+            assert shard_load == s.num_edges
+            assert shard_load <= total / sharded.num_partitions + max_vertex + 1
+
+    @settings(max_examples=100)
+    @given(gp=graphs_and_p())
+    def test_requested_p_clamped_to_vertices(self, gp):
+        edges, p = gp
+        sharded = PartitionEngine().partition(edges, p)
+        assert 1 <= sharded.num_partitions <= max(edges.num_vertices, 1)
+        assert sharded.num_partitions == min(p, max(edges.num_vertices, 1))

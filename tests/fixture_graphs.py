@@ -1,0 +1,105 @@
+"""The shared differential-testing fixture set: ~20 small seeded graphs.
+
+Families: Erdős–Rényi at several densities, power-law (R-MAT, web,
+social), explicitly disconnected unions, and structured shapes (path,
+cycle, star, clique, mesh, band, road) whose exact answers are easy to
+reason about. Everything is seeded, so the set is deterministic.
+
+Kept small on purpose: the pure-Python references in
+``tests/references.py`` walk these edge lists with scalar float32
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import (
+    banded,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    mesh2d,
+    path_graph,
+    rmat,
+    road_network,
+    social_graph,
+    star_graph,
+    web_graph,
+)
+
+
+def disjoint_union(*parts: EdgeList, extra_vertices: int = 0, name: str = "union") -> EdgeList:
+    """Relabel each part into its own vertex block; no edges between blocks.
+
+    ``extra_vertices`` appends that many isolated vertices at the end.
+    """
+    srcs, dsts = [], []
+    offset = 0
+    for g in parts:
+        srcs.append(g.src.astype(np.int64) + offset)
+        dsts.append(g.dst.astype(np.int64) + offset)
+        offset += g.num_vertices
+    return EdgeList(
+        offset + extra_vertices,
+        np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64),
+        np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64),
+        name=name,
+    )
+
+
+def _two_cliques_bridge() -> EdgeList:
+    g = disjoint_union(complete_graph(10), complete_graph(10), name="two_cliques")
+    src = np.concatenate([g.src, [9]])
+    dst = np.concatenate([g.dst, [10]])
+    return EdgeList(g.num_vertices, src, dst, name="two_cliques")
+
+
+def _mostly_isolated() -> EdgeList:
+    return EdgeList.from_pairs(
+        [(0, 1), (1, 2), (2, 0)], num_vertices=12, name="mostly_isolated"
+    )
+
+
+#: name -> zero-arg builder. Builders, not instances, so importing this
+#: module stays cheap and each test gets a fresh EdgeList.
+FIXTURE_BUILDERS = {
+    # Erdős–Rényi at several densities (er_sparse is usually disconnected)
+    "er_small": lambda: erdos_renyi(60, 240, seed=1, name="er_small"),
+    "er_mid": lambda: erdos_renyi(200, 1_200, seed=2, name="er_mid"),
+    "er_dense": lambda: erdos_renyi(80, 2_000, seed=3, name="er_dense"),
+    "er_sparse": lambda: erdos_renyi(300, 450, seed=4, name="er_sparse"),
+    "er_sym": lambda: erdos_renyi(120, 500, seed=15, name="er_sym").symmetrized(),
+    # Power-law families
+    "rmat_small": lambda: rmat(7, 500, seed=5, name="rmat_small"),
+    "rmat_mid": lambda: rmat(9, 2_500, seed=6, name="rmat_mid"),
+    "web_small": lambda: web_graph(8, 1_000, seed=7, name="web_small"),
+    "social_small": lambda: social_graph(7, 400, seed=8, name="social_small"),
+    # Explicitly disconnected
+    "disc_er": lambda: disjoint_union(
+        erdos_renyi(80, 300, seed=9),
+        erdos_renyi(60, 200, seed=10),
+        extra_vertices=10,
+        name="disc_er",
+    ),
+    "disc_rmat": lambda: disjoint_union(
+        rmat(6, 150, seed=11), rmat(6, 150, seed=12), name="disc_rmat"
+    ),
+    "mostly_isolated": _mostly_isolated,
+    # Structured shapes
+    "path300": lambda: path_graph(300),
+    "cycle64": lambda: cycle_graph(64),
+    "star200": lambda: star_graph(200),
+    "complete24": lambda: complete_graph(24),
+    "mesh12x12": lambda: mesh2d(12, 12),
+    "banded150": lambda: banded(150, 4, 3, seed=13),
+    "road10x10": lambda: road_network(10, 10, 20, seed=14),
+    "two_cliques": _two_cliques_bridge,
+}
+
+FIXTURE_NAMES = sorted(FIXTURE_BUILDERS)
+
+
+def build(name: str) -> EdgeList:
+    return FIXTURE_BUILDERS[name]()

@@ -1,0 +1,120 @@
+"""Snapshot compare logic and the committed baseline's honesty."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import bench
+from repro.obs.bench import (
+    Regression,
+    compare,
+    load_snapshot,
+    run_suite,
+    save_snapshot,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+SNAPSHOT = REPO / "benchmarks" / "BENCH_baseline.json"
+
+
+def meas(sim=1.0, phases=None):
+    return {
+        "sim_time": sim,
+        "memcpy_time": sim / 2,
+        "kernel_time": sim / 4,
+        "iterations": 10,
+        "phases": dict(phases or {"gather_map": sim / 3}),
+    }
+
+
+class TestCompare:
+    def test_identical_is_clean(self):
+        base = {"a": meas(), "b": meas(2.0)}
+        assert compare(base, base) == []
+
+    def test_2x_regression_detected(self):
+        base = {"a": meas(1.0)}
+        fresh = {"a": meas(2.0)}
+        regs = compare(base, fresh)
+        assert regs
+        metrics = {r.metric for r in regs}
+        assert "sim_time" in metrics and "phase:gather_map" in metrics
+        r = next(r for r in regs if r.metric == "sim_time")
+        assert r.ratio == pytest.approx(2.0)
+        assert "2.00x" in str(r)
+
+    def test_tolerance_respected(self):
+        base = {"a": meas(1.0)}
+        within = {"a": meas(1.09)}
+        beyond = {"a": meas(1.11)}
+        assert compare(base, within, tolerance=0.10) == []
+        assert compare(base, beyond, tolerance=0.10)
+        assert compare(base, beyond, tolerance=0.20) == []
+
+    def test_speedup_is_not_a_regression(self):
+        assert compare({"a": meas(1.0)}, {"a": meas(0.1)}) == []
+
+    def test_noise_floor_ignores_tiny_baselines(self):
+        base = {"a": meas(1e-9)}
+        fresh = {"a": meas(1e-6)}
+        assert compare(base, fresh) == []
+        assert compare(base, fresh, min_seconds=0.0)
+
+    def test_benchmark_only_on_one_side_skipped(self):
+        assert compare({"a": meas()}, {"b": meas(9.0)}) == []
+        assert compare({"a": meas()}, {"a": meas(), "b": meas(9.0)}) == []
+
+    def test_phase_missing_from_fresh_skipped(self):
+        base = {"a": meas(1.0, phases={"gone": 0.5})}
+        fresh = {"a": meas(1.0, phases={"new": 0.5})}
+        assert [r.metric for r in compare(base, fresh)] == []
+
+
+class TestSnapshotIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(path, {"a": meas()}, tolerance=0.25)
+        doc = load_snapshot(path)
+        assert doc["tolerance"] == 0.25
+        assert doc["benchmarks"]["a"]["sim_time"] == 1.0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"version": 99, "benchmarks": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_snapshot(path)
+
+    def test_unknown_benchmark_name_raises(self):
+        with pytest.raises(KeyError, match="nope"):
+            run_suite(names=["nope"])
+
+
+class TestCommittedBaseline:
+    """The committed snapshot must match a fresh run: the simulator is
+    deterministic, so any drift means the snapshot is stale."""
+
+    def test_snapshot_exists_and_loads(self):
+        doc = load_snapshot(SNAPSHOT)
+        assert set(doc["benchmarks"]) == set(bench._suite_cases())
+
+    def test_fresh_run_matches_snapshot(self):
+        doc = load_snapshot(SNAPSHOT)
+        fresh = run_suite(names=sorted(doc["benchmarks"]))
+        assert compare(doc["benchmarks"], fresh, tolerance=doc["tolerance"]) == []
+
+    def test_injected_regression_fails(self):
+        """Halving baseline timings == doubling fresh ones: exit path."""
+        doc = load_snapshot(SNAPSHOT)
+        crippled = {
+            name: {
+                **m,
+                "sim_time": m["sim_time"] / 2,
+                "phases": {ph: t / 2 for ph, t in m["phases"].items()},
+            }
+            for name, m in doc["benchmarks"].items()
+        }
+        fresh = run_suite(names=sorted(doc["benchmarks"]))
+        regs = compare(crippled, fresh, tolerance=doc["tolerance"])
+        assert regs
+        assert all(isinstance(r, Regression) for r in regs)

@@ -1,0 +1,212 @@
+"""Span recorder, metrics registry, and runtime integration."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, PageRank
+from repro.core.runtime import GraphReduce, GraphReduceOptions
+from repro.graph.generators import erdos_renyi, rmat
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.span import NULL_OBSERVER, NoopObserver, Observer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestObserver:
+    def test_nesting_by_dynamic_scope(self):
+        clock = FakeClock()
+        obs = Observer(clock=clock)
+        with obs.span("outer") as outer:
+            clock.now = 1.0
+            with obs.span("inner", category="phase", shards=3) as inner:
+                clock.now = 2.5
+        assert obs.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.start == 1.0 and inner.end == 2.5
+        assert inner.duration == 1.5
+        assert outer.duration == 2.5
+        assert inner.attrs["shards"] == 3
+
+    def test_set_updates_attrs(self):
+        obs = Observer()
+        with obs.span("s") as sp:
+            sp.set(bytes=10).set(bytes=20, extra=1)
+        assert sp.attrs == {"bytes": 20, "extra": 1}
+
+    def test_event_is_zero_duration_child(self):
+        clock = FakeClock()
+        obs = Observer(clock=clock)
+        with obs.span("outer") as outer:
+            clock.now = 3.0
+            ev = obs.event("tick", category="fusion", mode="bsp")
+        assert ev in outer.children
+        assert ev.start == ev.end == 3.0
+        assert ev.attrs["mode"] == "bsp"
+
+    def test_find_filters_category_and_name(self):
+        obs = Observer()
+        with obs.span("a", category="iteration"):
+            with obs.span("b", category="phase"):
+                pass
+            with obs.span("c", category="phase"):
+                pass
+        assert [s.name for s in obs.find(category="phase")] == ["b", "c"]
+        assert [s.name for s in obs.find(name="a")] == ["a"]
+
+    def test_exception_unwinding_closes_spans(self):
+        clock = FakeClock()
+        obs = Observer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with obs.span("outer"):
+                clock.now = 1.0
+                with obs.span("inner"):
+                    raise RuntimeError("boom")
+        (outer,) = obs.roots
+        assert outer.end == 1.0
+        assert outer.children[0].end == 1.0
+        assert obs.current is None
+
+    def test_metrics_pass_through(self):
+        obs = Observer()
+        obs.add("bytes", 100)
+        obs.add("bytes", 50)
+        obs.observe("size", 7)
+        assert obs.metrics.value("bytes") == 150
+        assert obs.metrics.histogram("size").count == 1
+
+
+class TestNoop:
+    def test_shared_singleton_records_nothing(self):
+        with NULL_OBSERVER.span("x", category="iteration", index=1) as sp:
+            sp.set(bytes=10)
+        NULL_OBSERVER.add("c", 5)
+        NULL_OBSERVER.observe("h", 5)
+        NULL_OBSERVER.event("e")
+        assert list(NULL_OBSERVER.iter_spans()) == []
+        assert NULL_OBSERVER.metrics.counters == {}
+        assert NULL_OBSERVER.metrics.histograms == {}
+        assert not NULL_OBSERVER.enabled
+
+    def test_span_context_is_reused(self):
+        a = NoopObserver()
+        assert a.span("x") is a.span("y")
+
+
+class TestMetrics:
+    def test_histogram_summary(self):
+        h = Histogram("h")
+        for v in (1, 2, 3, 1000):
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 1 and h.max == 1000
+        assert h.mean == pytest.approx(1006 / 4)
+        d = h.to_dict()
+        assert d["count"] == 4
+        # log2 buckets: 1 -> bucket 0, 2 -> 1, 3 -> 2, 1000 -> 10
+        assert d["buckets"] == {"0": 1, "1": 1, "2": 1, "10": 1}
+
+    def test_empty_histogram(self):
+        assert Histogram("h").to_dict() == {"count": 0}
+
+    def test_registry_creates_on_first_use(self):
+        m = MetricsRegistry()
+        m.add("a", 2)
+        m.add("a")
+        m.observe("b", 5)
+        snap = m.snapshot()
+        assert snap["counters"]["a"]["value"] == 3
+        assert snap["histograms"]["b"]["count"] == 1
+        assert m.value("missing", default=-1) == -1
+
+
+class TestRuntimeIntegration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        g = rmat(10, 8_000, seed=3)
+        return GraphReduce(g, options=GraphReduceOptions(cache_policy="never")).run(
+            PageRank(tolerance=1e-3)
+        )
+
+    def test_run_span_covers_sim_time(self, result):
+        (run,) = result.observer.roots
+        assert run.category == "run"
+        assert run.end == pytest.approx(result.sim_time)
+        assert run.attrs["iterations"] == result.iterations
+
+    def test_one_span_per_iteration(self, result):
+        iters = list(result.observer.find(category="iteration"))
+        assert len(iters) == result.iterations
+        assert [s.attrs["index"] for s in iters] == list(range(result.iterations))
+        # Frontier sizes recorded on the spans match the history.
+        assert [s.attrs["frontier"] for s in iters] == result.frontier_history[
+            : result.iterations
+        ]
+
+    def test_phase_spans_nest_in_iterations(self, result):
+        for it in result.observer.find(category="iteration"):
+            names = [c.name for c in it.children if c.category == "phase"]
+            assert names[-1] == "frontier"
+            assert "gather_map" in names
+
+    def test_shard_spans_match_processed_count(self, result):
+        shards = list(result.observer.find(category="shard"))
+        assert len(shards) == result.stats.shards_processed
+
+    def test_counters_match_movement_stats(self, result):
+        m = result.observer.metrics
+        assert m.value("movement.h2d.bytes") == result.stats.h2d_bytes
+        assert m.value("movement.d2h.bytes") == result.stats.d2h_bytes
+        assert m.value("movement.kernel.launches") == result.stats.kernel_launches
+        assert m.value("movement.shards.processed") == result.stats.shards_processed
+        assert m.value("movement.shards.skipped") == result.stats.shards_skipped
+        assert m.value("runtime.iterations") == result.iterations
+
+    def test_frontier_histogram(self, result):
+        h = result.observer.metrics.histogram("frontier.size")
+        # advance() runs once per completed iteration
+        assert h.count == result.iterations
+
+    def test_fusion_plan_event(self, result):
+        (ev,) = result.observer.find(category="fusion")
+        assert ev.attrs["mode"] == "bsp"
+        assert "gather_map" in ev.attrs["groups"]
+        assert result.observer.metrics.value("fusion.groups") == len(ev.attrs["groups"])
+
+    def test_observe_off_returns_none_and_same_answers(self):
+        g = erdos_renyi(300, 1_500, seed=5)
+        on = GraphReduce(g).run(BFS(source=0))
+        off = GraphReduce(g, options=GraphReduceOptions(observe=False)).run(BFS(source=0))
+        assert off.observer is None
+        assert np.array_equal(on.vertex_values, off.vertex_values)
+        assert on.sim_time == pytest.approx(off.sim_time)
+
+
+class TestAdaptiveIntegration:
+    def test_scheduler_spans_and_counters(self):
+        from repro.core.scheduler import AdaptiveEngine
+
+        g = erdos_renyi(400, 2_000, seed=9)
+        r = AdaptiveEngine(g).run(BFS(source=0))
+        assert r.observer is not None
+        (run,) = r.observer.roots
+        assert run.attrs["iterations"] == r.iterations
+        iters = list(r.observer.find(category="iteration"))
+        assert [s.attrs["placement"] for s in iters] == r.placement
+        m = r.observer.metrics
+        assert m.value("adaptive.gpu_iterations") == r.placement.count("gpu")
+        assert m.value("adaptive.cpu_iterations") == r.placement.count("cpu")
+        assert m.value("adaptive.switches") == r.switches
+        assert run.end == pytest.approx(r.sim_time)
+
+    def test_scheduler_observe_off(self):
+        from repro.core.scheduler import AdaptiveEngine
+
+        g = erdos_renyi(100, 400, seed=2)
+        r = AdaptiveEngine(g, observe=False).run(BFS(source=0))
+        assert r.observer is None

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -87,3 +89,85 @@ def test_kcore_via_cli(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+class TestTrace:
+    def test_writes_consistent_chrome_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys,
+            "trace",
+            "--algo",
+            "pagerank",
+            "--graph",
+            "delaunay_n13",
+            "--out",
+            str(out_path),
+        )
+        assert code == 0
+        assert "chrome://tracing" in out
+        assert "memcpy" in out and "gather_map" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        cats = {ev.get("cat") for ev in doc["traceEvents"]}
+        assert {"iteration", "phase", "h2d", "kernel"} <= cats
+
+    def test_unoptimized_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys,
+            "trace",
+            "--algo",
+            "bfs",
+            "--graph",
+            "delaunay_n13",
+            "--unoptimized",
+            "--out",
+            str(out_path),
+        )
+        assert code == 0
+        assert out_path.exists()
+
+
+class TestBenchCheck:
+    def test_committed_snapshot_passes(self, capsys):
+        code, out = run_cli(capsys, "bench-check")
+        assert code == 0
+        assert "ok: no phase regressed" in out
+        assert "pagerank_rmat12" in out
+
+    def test_update_then_check_round_trip(self, tmp_path, capsys):
+        snap = tmp_path / "BENCH_test.json"
+        code, out = run_cli(capsys, "bench-check", "--snapshot", str(snap), "--update")
+        assert code == 0
+        assert "wrote" in out
+        code, out = run_cli(capsys, "bench-check", "--snapshot", str(snap))
+        assert code == 0
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        """Halving every committed timing makes the fresh run look 2x
+        slower -- the gate must trip (the ISSUE acceptance criterion)."""
+        from repro.obs import bench
+
+        doc = bench.load_snapshot("benchmarks/BENCH_baseline.json")
+        crippled = {
+            name: {
+                **m,
+                "sim_time": m["sim_time"] / 2,
+                "phases": {ph: t / 2 for ph, t in m["phases"].items()},
+            }
+            for name, m in doc["benchmarks"].items()
+        }
+        snap = tmp_path / "BENCH_crippled.json"
+        bench.save_snapshot(snap, crippled, tolerance=doc["tolerance"])
+        code = main(["bench-check", "--snapshot", str(snap)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "regression(s)" in err
+        assert "2.00x" in err
+
+    def test_missing_snapshot_exits_2(self, tmp_path, capsys):
+        code = main(["bench-check", "--snapshot", str(tmp_path / "nope.json")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "not found" in err
