@@ -6,16 +6,22 @@
     python -m repro run --graph path/to/edges.txt --algorithm pagerank
     python -m repro compare --graph kron_g500-logn21 --algorithm bfs
     python -m repro trace --algo pagerank --out trace.json
+    python -m repro profile --algo pagerank --out profile.json
     python -m repro bench-check --snapshot benchmarks/BENCH_baseline.json
+    python -m repro bench-diff old.json new.json
 
 ``run`` executes one algorithm under GraphReduce and prints the result
 summary plus the simulated performance profile; ``compare`` adds every
 baseline framework; ``trace`` writes a Chrome ``trace_event`` JSON
-(open in chrome://tracing or Perfetto) plus the phase report; and
-``bench-check`` reruns the standard benchmark suite against a committed
-timing snapshot, exiting non-zero on regression. Graphs are either
-Table-1 dataset names or paths to edge-list / ``.npz`` / MatrixMarket
-files.
+(open in chrome://tracing or Perfetto) plus the phase report;
+``profile`` runs the bottleneck-attribution profiler (per-engine
+occupancy, overlap efficiency, a bottleneck verdict and the cost-model
+validation pass) and writes ``profile.json``; ``bench-check`` reruns
+the standard benchmark suite against a committed timing snapshot,
+exiting non-zero on regression; and ``bench-diff`` prints per-phase /
+per-counter deltas between any two bench or profile snapshots. Graphs
+are either Table-1 dataset names or paths to edge-list / ``.npz`` /
+MatrixMarket files.
 """
 
 from __future__ import annotations
@@ -169,14 +175,106 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.profile import build_profile, write_profile
+
+    graph = prepare(load_graph(args.graph), args)
+    program = ALGORITHMS[args.algorithm](args)
+    opts = (
+        GraphReduceOptions.unoptimized()
+        if args.unoptimized
+        else GraphReduceOptions(
+            num_partitions=args.partitions, cache_policy=args.cache_policy
+        )
+    )
+    result = GraphReduce(graph, options=opts).run(program, max_iterations=args.max_iterations)
+    report = build_profile(result)
+    print(report.to_text())
+    path = write_profile(args.out, report)
+    print(f"\nwrote {path}")
+    if args.trace_out:
+        print(f"wrote {write_chrome_trace(args.trace_out, result=result)}")
+    # Consistency gate: per-engine busy time must reconcile with the
+    # device trace (they observe the same service windows), and the
+    # cost-model validation pass must hold.
+    for name, cats in (("h2d", ("h2d",)), ("d2h", ("d2h",)), ("sm", ("kernel",))):
+        eng = report.engines.get(name)
+        if eng is None:
+            continue
+        trace_busy = result.trace.service_busy_span(*cats)
+        if trace_busy > 0 and abs(eng.busy_seconds - trace_busy) > 0.01 * trace_busy:
+            print(f"error: engine {name} busy time disagrees with the trace "
+                  f"({eng.busy_seconds:.9f}s vs {trace_busy:.9f}s)", file=sys.stderr)
+            return 1
+    if not report.validation_ok:
+        print("error: cost-model validation failed (see table above)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench_diff(args) -> int:
+    from repro.obs import bench
+
+    docs = []
+    for p in (args.baseline, args.fresh):
+        path = Path(p)
+        if not path.exists():
+            print(f"error: snapshot {path} not found", file=sys.stderr)
+            return 2
+        docs.append(json.loads(path.read_text()))
+    tolerance = args.tolerance if args.tolerance is not None else docs[0].get(
+        "tolerance", bench.DEFAULT_TOLERANCE
+    )
+    try:
+        rows, regressions = bench.diff_documents(docs[0], docs[1], tolerance=tolerance)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not rows:
+        print("no comparable metrics between the two snapshots", file=sys.stderr)
+        return 2
+    shown = 0
+    for row in sorted(rows, key=lambda r: -abs(r.ratio - 1.0)):
+        if row.delta == 0 and not args.all:
+            continue
+        flag = " REGRESSION" if row in regressions else ""
+        print(f"{row.benchmark:24s} {row.metric:28s} {row.before:12.6g} -> "
+              f"{row.after:12.6g}  {row.ratio:6.2f}x{flag}")
+        shown += 1
+    if shown == 0:
+        print(f"identical: {len(rows)} metrics compared, no deltas")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {100 * tolerance:.0f}%:",
+              file=sys.stderr)
+        for reg in regressions:
+            print(f"  {reg}", file=sys.stderr)
+        return 1
+    print(f"\nok: no timing metric regressed beyond {100 * tolerance:.0f}% "
+          f"({len(rows)} compared)")
+    return 0
+
+
 def cmd_bench_check(args) -> int:
     from repro.obs import bench
 
     if args.update:
         fresh = bench.run_suite()
-        tolerance = args.tolerance if args.tolerance is not None else bench.DEFAULT_TOLERANCE
+        # Preserve the committed snapshot's tolerance on refresh unless
+        # one is given explicitly -- `--update` must not silently reset
+        # a tuned gate back to the default.
+        tolerance = args.tolerance
+        if tolerance is None:
+            snapshot_path = Path(args.snapshot)
+            if snapshot_path.exists():
+                try:
+                    tolerance = bench.load_snapshot(snapshot_path).get("tolerance")
+                except ValueError:
+                    tolerance = None
+        if tolerance is None:
+            tolerance = bench.DEFAULT_TOLERANCE
         path = bench.save_snapshot(args.snapshot, fresh, tolerance=tolerance)
-        print(f"wrote {path} ({len(fresh)} benchmarks)")
+        print(f"wrote {path} ({len(fresh)} benchmarks, tolerance {tolerance:g})")
         return 0
     snapshot_path = Path(args.snapshot)
     if not snapshot_path.exists():
@@ -275,6 +373,45 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--k", type=int, default=3)
     trace_p.add_argument("--max-iterations", type=int, default=100_000)
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="run one algorithm under the bottleneck-attribution profiler",
+    )
+    prof_p.add_argument(
+        "--algo", "--algorithm", dest="algorithm", required=True,
+        choices=sorted(ALGORITHMS),
+    )
+    prof_p.add_argument("--graph", default="delaunay_n13",
+                        help="dataset name or graph file (default: delaunay_n13)")
+    prof_p.add_argument("--out", default="profile.json",
+                        help="machine-readable output path")
+    prof_p.add_argument("--trace-out", default=None,
+                        help="also write a Chrome trace_event JSON here")
+    prof_p.add_argument("--unoptimized", action="store_true",
+                        help="profile the Figure-15 baseline configuration")
+    prof_p.add_argument("--partitions", type=int, default=None)
+    prof_p.add_argument(
+        "--cache-policy", choices=("auto", "never", "greedy", "lru"), default="auto"
+    )
+    prof_p.add_argument("--source", type=int, default=0)
+    prof_p.add_argument("--tolerance", type=float, default=1e-3)
+    prof_p.add_argument("--k", type=int, default=3)
+    prof_p.add_argument("--max-iterations", type=int, default=100_000)
+
+    diff_p = sub.add_parser(
+        "bench-diff",
+        help="per-phase/per-counter deltas between two bench or profile snapshots",
+    )
+    diff_p.add_argument("baseline", help="the older snapshot (bench or profile JSON)")
+    diff_p.add_argument("fresh", help="the newer snapshot to compare against it")
+    diff_p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative slowdown that counts as a regression "
+             "(default: the baseline's recorded tolerance, else 10%%)",
+    )
+    diff_p.add_argument("--all", action="store_true",
+                        help="also print metrics with no delta")
+
     bench_p = sub.add_parser(
         "bench-check",
         help="rerun the benchmark suite against a committed timing snapshot",
@@ -301,7 +438,9 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "trace": cmd_trace,
+        "profile": cmd_profile,
         "bench-check": cmd_bench_check,
+        "bench-diff": cmd_bench_diff,
     }
     return commands[args.command](args)
 

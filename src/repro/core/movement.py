@@ -138,6 +138,16 @@ class DataMovementEngine:
         # Spray streams are created dynamically per main stream on use.
         self._spray_pools: list[list] = [[] for _ in range(self.k)]
 
+    @property
+    def max_shard_bytes(self) -> int:
+        """B in Eq. (2): streaming-buffer footprint of the largest shard."""
+        return self._max_shard_bytes
+
+    @property
+    def interval_bytes(self) -> int:
+        """V/P staging share per slot in Eq. (1)."""
+        return self._interval_bytes
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------

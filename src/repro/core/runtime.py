@@ -161,6 +161,10 @@ class GraphReduceResult:
     iteration_stats: list[IterationStat] = field(default_factory=list)
     #: span tree + metrics of the run (None when options.observe is off)
     observer: "Observer | None" = None
+    #: per-engine busy/utilization timelines captured from the device's
+    #: copy engines and SM pool (None when options.trace is off); feeds
+    #: the occupancy computation in :mod:`repro.obs.profile`
+    engine_snapshots: dict | None = None
 
     @property
     def memcpy_fraction(self) -> float:
@@ -274,7 +278,19 @@ class GraphReduce:
                 movement.reserve_stage_slots()
                 if opts.cache_policy == "lru":
                     movement.enable_lru_cache()
-            cache_span.set(policy=opts.cache_policy, in_memory=in_memory, k=movement.k)
+            # Everything the profiler's Eq. (1)/(2) replay needs to
+            # re-derive K from first principles lives on this span.
+            cache_span.set(
+                policy=opts.cache_policy,
+                in_memory=in_memory,
+                k=movement.k,
+                async_streams=opts.async_streams,
+                max_shard_bytes=movement.max_shard_bytes,
+                interval_bytes=movement.interval_bytes,
+                resident_bytes=resident_bytes,
+                device_memory=self.machine.device.memory_bytes,
+                num_partitions=sharded.num_partitions,
+            )
 
         # --- Compute side ----------------------------------------------
         frontier = FrontierManager(
@@ -357,6 +373,11 @@ class GraphReduce:
         run_span.set(iterations=iteration, converged=converged)
         run_span_cm.__exit__(None, None, None)
         trace = device.trace
+        engine_snapshots = None
+        if opts.trace:
+            engine_snapshots = device.engine_snapshots()
+            if movement.ssd is not None:
+                engine_snapshots["ssd"] = movement.ssd[0].profile_snapshot()
         return GraphReduceResult(
             vertex_values=compute.vertex_values,
             iterations=iteration,
@@ -374,6 +395,7 @@ class GraphReduce:
             trace=trace,
             iteration_stats=iteration_stats,
             observer=obs if opts.observe else None,
+            engine_snapshots=engine_snapshots,
         )
 
     # ------------------------------------------------------------------

@@ -12,8 +12,14 @@ first-class version of that instrumentation:
   moved, kernels launched, shards skipped, fusion decisions);
 * :mod:`repro.obs.export` -- JSON and Chrome ``trace_event`` exporters,
   so a run opens directly in ``chrome://tracing`` / Perfetto;
-* :mod:`repro.obs.bench` -- phase-timing snapshots and the
-  ``repro bench-check`` regression comparison.
+* :mod:`repro.obs.bench` -- phase-timing snapshots, the
+  ``repro bench-check`` regression comparison and the
+  ``repro bench-diff`` snapshot differ;
+* :mod:`repro.obs.profile` -- the bottleneck-attribution profiler
+  (per-engine occupancy, overlap efficiency, frontier-skip
+  effectiveness) behind ``repro profile``;
+* :mod:`repro.obs.attribution` -- bottleneck verdicts with tuning
+  recommendations, and the Eq. (1)/(2) + cost-model validation pass.
 """
 
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
@@ -24,17 +30,26 @@ from repro.obs.export import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.attribution import ModelCheck, Verdict, diagnose, validate_cost_model
+from repro.obs.profile import ProfileReport, build_profile, write_profile
 
 __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "ModelCheck",
     "NULL_OBSERVER",
     "NoopObserver",
     "Observer",
+    "ProfileReport",
     "Span",
+    "Verdict",
+    "build_profile",
+    "diagnose",
     "observer_to_json",
     "result_to_chrome_trace",
     "to_chrome_trace",
+    "validate_cost_model",
     "write_chrome_trace",
+    "write_profile",
 ]

@@ -140,6 +140,113 @@ def compare(
     return regressions
 
 
+# ----------------------------------------------------------------------
+# bench-diff: deltas between two snapshots (bench or profile documents)
+# ----------------------------------------------------------------------
+#: Metric name prefixes/names where a larger value is a regression.
+_HIGHER_IS_WORSE = ("sim_time", "memcpy_time", "kernel_time", "phase:")
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One metric's before/after across two snapshots."""
+
+    benchmark: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def ratio(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 1.0
+        return self.after / self.before
+
+    @property
+    def comparable(self) -> bool:
+        """Whether growth in this metric counts as a regression."""
+        return self.metric in _HIGHER_IS_WORSE or self.metric.startswith("phase:")
+
+    def regressed(self, tolerance: float, min_seconds: float = MIN_SECONDS) -> bool:
+        if not self.comparable or self.before < min_seconds:
+            return False
+        return self.after > self.before * (1.0 + tolerance)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.benchmark}/{self.metric}: {self.before:.6g} -> "
+            f"{self.after:.6g} ({self.ratio:.2f}x)"
+        )
+
+
+def metric_table(doc: dict) -> dict[str, dict[str, float]]:
+    """Normalize a snapshot document to ``{case: {metric: value}}``.
+
+    Accepts both formats ``repro`` writes: bench snapshots
+    (``bench-check``'s ``{"version", "benchmarks": ...}``) and profiler
+    documents (``repro profile``'s ``profile.json``), so any two of
+    them diff against each other.
+    """
+    if "benchmarks" in doc:
+        out = {}
+        for name, m in doc["benchmarks"].items():
+            row = {
+                k: float(m[k])
+                for k in ("sim_time", "memcpy_time", "kernel_time", "iterations")
+                if k in m
+            }
+            for ph, v in m.get("phases", {}).items():
+                row[f"phase:{ph}"] = float(v)
+            out[name] = row
+        return out
+    if "profile_version" in doc:
+        name = f"{doc.get('algo', '?')}/{doc.get('graph', '?')}"
+        row = {
+            k: float(doc[k])
+            for k in ("sim_time", "memcpy_time", "kernel_time", "iterations")
+            if k in doc
+        }
+        for ph, m in doc.get("phases", {}).items():
+            row[f"phase:{ph}"] = float(m["total_time"])
+        for cname, v in doc.get("counters", {}).items():
+            row[f"counter:{cname}"] = float(v)
+        ov = doc.get("overlap", {})
+        if "efficiency" in ov:
+            row["overlap_efficiency"] = float(ov["efficiency"])
+        return {name: row}
+    raise ValueError(
+        "unrecognized snapshot: expected a bench-check snapshot "
+        "('benchmarks') or a profile.json ('profile_version')"
+    )
+
+
+def diff_documents(
+    a: dict, b: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> tuple[list[DiffRow], list[DiffRow]]:
+    """All per-metric deltas of ``b`` against ``a``, plus the regressions.
+
+    Cases or metrics present on only one side are skipped (adding or
+    retiring a benchmark is not a regression). Regressions are timing
+    metrics that grew beyond ``tolerance``; counters and rates are
+    reported as deltas but never fail the diff on their own.
+    """
+    left, right = metric_table(a), metric_table(b)
+    rows: list[DiffRow] = []
+    for case in sorted(left):
+        if case not in right:
+            continue
+        for metric in sorted(left[case]):
+            if metric not in right[case]:
+                continue
+            rows.append(DiffRow(case, metric, left[case][metric], right[case][metric]))
+    regressions = [r for r in rows if r.regressed(tolerance)]
+    return rows, regressions
+
+
 def load_snapshot(path) -> dict:
     doc = json.loads(Path(path).read_text())
     if doc.get("version") != SNAPSHOT_VERSION:

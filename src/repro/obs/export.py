@@ -80,6 +80,12 @@ def _interval_events(trace) -> list[dict]:
         for name in streams
     ]
     for iv in trace.intervals:
+        args = {"amount": iv.amount, "category": iv.category}
+        if iv.service_start is not None:
+            # Engine-service entry (kernels: SM entry after launch
+            # overhead/queueing) -- lets `repro profile` occupancy be
+            # recomputed from the exported document alone.
+            args["service_ts"] = iv.service_start * US
         events.append(
             {
                 "ph": "X",
@@ -89,7 +95,7 @@ def _interval_events(trace) -> list[dict]:
                 "dur": iv.duration * US,
                 "name": iv.label or iv.category,
                 "cat": iv.category,
-                "args": {"amount": iv.amount, "category": iv.category},
+                "args": args,
             }
         )
     return events

@@ -22,9 +22,18 @@ class Counter:
     def add(self, n: float = 1.0) -> None:
         self.value += n
 
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold another counter's total into this one; returns self."""
+        self.value += other.value
+        return self
+
     def to_dict(self) -> dict:
         v = self.value
         return {"value": int(v) if float(v).is_integer() else v}
+
+    @classmethod
+    def from_dict(cls, name: str, d: dict) -> "Counter":
+        return cls(name, value=float(d.get("value", 0.0)))
 
 
 @dataclass
@@ -57,9 +66,25 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's observations into this one.
+
+        Exact for count/sum/min/max and the log2 buckets, so summaries
+        aggregate across runs and shards losslessly; returns self.
+        """
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for k, v in other.buckets.items():
+            self.buckets[k] = self.buckets.get(k, 0) + v
+        return self
+
     def to_dict(self) -> dict:
         if not self.count:
-            return {"count": 0}
+            # min/max as null (not +/-inf, which is invalid JSON) so an
+            # empty histogram round-trips through json.dumps/loads.
+            return {"count": 0, "min": None, "max": None}
         return {
             "count": self.count,
             "sum": self.total,
@@ -68,6 +93,18 @@ class Histogram:
             "mean": self.mean,
             "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
         }
+
+    @classmethod
+    def from_dict(cls, name: str, d: dict) -> "Histogram":
+        h = cls(name)
+        h.count = int(d.get("count", 0))
+        if not h.count:
+            return h
+        h.total = float(d.get("sum", 0.0))
+        h.min = float(d["min"]) if d.get("min") is not None else math.inf
+        h.max = float(d["max"]) if d.get("max") is not None else -math.inf
+        h.buckets = {int(k): int(v) for k, v in d.get("buckets", {}).items()}
+        return h
 
 
 class MetricsRegistry:
@@ -103,8 +140,31 @@ class MetricsRegistry:
         c = self.counters.get(name)
         return default if c is None else c.value
 
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in (instrument-wise merge); returns self.
+
+        The aggregation behind multi-run/multi-shard views: counters
+        add, histograms combine exactly (``repro bench-diff`` and the
+        benchmark replications merge per-run registries this way).
+        """
+        for name, c in other.counters.items():
+            self.counter(name).merge(c)
+        for name, h in other.histograms.items():
+            self.histogram(name).merge(h)
+        return self
+
     def snapshot(self) -> dict:
         return {
             "counters": {n: c.to_dict() for n, c in sorted(self.counters.items())},
             "histograms": {n: h.to_dict() for n, h in sorted(self.histograms.items())},
         }
+
+    @classmethod
+    def from_snapshot(cls, doc: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output (JSON round-trip)."""
+        reg = cls()
+        for name, d in doc.get("counters", {}).items():
+            reg.counters[name] = Counter.from_dict(name, d)
+        for name, d in doc.get("histograms", {}).items():
+            reg.histograms[name] = Histogram.from_dict(name, d)
+        return reg

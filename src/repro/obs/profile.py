@@ -1,0 +1,498 @@
+"""The bottleneck-attribution profiler.
+
+Consumes a finished run's span tree (:mod:`repro.obs.span`), device
+interval trace (:mod:`repro.sim.trace`) and per-engine utilization
+timelines (:meth:`repro.sim.resources.FluidResource.profile_snapshot`)
+and produces a structured :class:`ProfileReport`:
+
+* **per-engine occupancy** -- busy/idle timelines for the h2d/d2h copy
+  engines and the SM pool, plus per-stream activity (spray streams
+  included), reconciling exactly with the Chrome trace export because
+  both read the same service windows;
+* **overlap efficiency** -- the fraction of PCIe transfer time hidden
+  under kernels (the paper's Figure-5 argument), overall and per
+  iteration;
+* **frontier-skip effectiveness** -- shards skipped, the traffic that
+  skipping avoided (Figures 16-17);
+* a **bottleneck verdict** with the single highest-leverage tuning
+  recommendation (:mod:`repro.obs.attribution`); and
+* a **model-validation pass** replaying Eq. (1)/(2) and the
+  ``docs/cost-model.md`` per-op models against observed timings.
+
+``repro profile`` wires this into the CLI (human-readable table +
+machine-readable ``profile.json``); ``repro bench-diff`` compares two
+such documents.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.attribution import (
+    MODEL_TOLERANCE,
+    ModelCheck,
+    Verdict,
+    diagnose,
+    predict_concurrent_shards,
+    validate_cost_model,
+)
+
+PROFILE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Interval algebra (plain (start, end) pairs)
+# ----------------------------------------------------------------------
+def merge_intervals(pairs) -> list[tuple[float, float]]:
+    """Union of (start, end) pairs as a sorted, disjoint list."""
+    merged: list[list[float]] = []
+    for start, end in sorted(pairs):
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return [(s, e) for s, e in merged]
+
+
+def intersect_intervals(a, b) -> list[tuple[float, float]]:
+    """Intersection of two disjoint sorted interval lists."""
+    out: list[tuple[float, float]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if lo < hi:
+            out.append((lo, hi))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def total_length(pairs) -> float:
+    return sum(e - s for s, e in pairs)
+
+
+def clip_intervals(pairs, t0: float, t1: float) -> list[tuple[float, float]]:
+    """The part of a disjoint sorted interval list inside [t0, t1]."""
+    return [(max(s, t0), min(e, t1)) for s, e in pairs if s < t1 and e > t0]
+
+
+# ----------------------------------------------------------------------
+# Report pieces
+# ----------------------------------------------------------------------
+@dataclass
+class EngineProfile:
+    """Busy/idle accounting for one hardware engine."""
+
+    name: str
+    #: wall time with at least one job in service (union of windows)
+    busy_seconds: float
+    #: capacity-weighted integral -- busy_seconds discounts sharing,
+    #: this does not (a half-rate second counts 0.5)
+    utilization_seconds: float
+    #: total work units delivered (bytes for copy engines,
+    #: machine-seconds for the SM pool)
+    served_work: float
+    #: busy_seconds / makespan
+    occupancy: float
+    #: merged (start, end) busy windows -- the idle gaps between them
+    #: are exactly the engine's idle timeline
+    busy_intervals: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "busy_seconds": self.busy_seconds,
+            "utilization_seconds": self.utilization_seconds,
+            "served_work": self.served_work,
+            "occupancy": self.occupancy,
+            "busy_intervals": [list(p) for p in self.busy_intervals],
+        }
+
+
+@dataclass
+class StreamProfile:
+    """Activity summary for one simulated stream (spray streams too)."""
+
+    name: str
+    busy_seconds: float
+    transfers: int
+    kernels: int
+    bytes: float
+    items: float
+
+    def to_dict(self) -> dict:
+        return {
+            "busy_seconds": self.busy_seconds,
+            "transfers": self.transfers,
+            "kernels": self.kernels,
+            "bytes": self.bytes,
+            "items": self.items,
+        }
+
+
+@dataclass
+class IterationOverlap:
+    """Per-iteration compute/transfer overlap (the Figure-5 view)."""
+
+    index: int
+    start: float
+    end: float
+    frontier: int
+    transfer_busy: float
+    kernel_busy: float
+    hidden_transfer: float
+    shards_processed: int
+    shards_skipped: int
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of this iteration's transfer time hidden under kernels."""
+        return self.hidden_transfer / self.transfer_busy if self.transfer_busy else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "frontier": self.frontier,
+            "transfer_busy": self.transfer_busy,
+            "kernel_busy": self.kernel_busy,
+            "hidden_transfer": self.hidden_transfer,
+            "overlap_efficiency": self.overlap_efficiency,
+            "shards_processed": self.shards_processed,
+            "shards_skipped": self.shards_skipped,
+        }
+
+
+@dataclass
+class OverlapSummary:
+    transfer_busy: float
+    kernel_busy: float
+    hidden_transfer: float
+    device_busy: float
+
+    @property
+    def efficiency(self) -> float:
+        """Overall fraction of PCIe transfer time hidden under kernels."""
+        return self.hidden_transfer / self.transfer_busy if self.transfer_busy else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "transfer_busy": self.transfer_busy,
+            "kernel_busy": self.kernel_busy,
+            "hidden_transfer": self.hidden_transfer,
+            "device_busy": self.device_busy,
+            "efficiency": self.efficiency,
+        }
+
+
+@dataclass
+class FrontierSkipProfile:
+    shards_processed: int
+    shards_skipped: int
+    iterations: int
+    iterations_with_skips: int
+    #: estimated PCIe bytes that skipping avoided (skipped shards at the
+    #: observed average streamed-bytes-per-processed-shard)
+    est_bytes_saved: float
+
+    @property
+    def skip_rate(self) -> float:
+        total = self.shards_processed + self.shards_skipped
+        return self.shards_skipped / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "shards_processed": self.shards_processed,
+            "shards_skipped": self.shards_skipped,
+            "skip_rate": self.skip_rate,
+            "iterations": self.iterations,
+            "iterations_with_skips": self.iterations_with_skips,
+            "est_bytes_saved": self.est_bytes_saved,
+        }
+
+
+@dataclass
+class ProfileReport:
+    """Everything ``repro profile`` prints and serializes."""
+
+    algo: str
+    graph: str
+    sim_time: float
+    memcpy_time: float
+    kernel_time: float
+    iterations: int
+    concurrent_shards: int
+    engines: dict[str, EngineProfile]
+    streams: dict[str, StreamProfile]
+    overlap: OverlapSummary
+    per_iteration: list[IterationOverlap]
+    frontier: FrontierSkipProfile
+    phases: dict[str, dict]
+    counters: dict
+    verdict: Verdict
+    validation: list[ModelCheck]
+
+    def to_dict(self) -> dict:
+        return {
+            "profile_version": PROFILE_VERSION,
+            "algo": self.algo,
+            "graph": self.graph,
+            "sim_time": self.sim_time,
+            "memcpy_time": self.memcpy_time,
+            "kernel_time": self.kernel_time,
+            "iterations": self.iterations,
+            "concurrent_shards": self.concurrent_shards,
+            "engines": {n: e.to_dict() for n, e in self.engines.items()},
+            "streams": {n: s.to_dict() for n, s in self.streams.items()},
+            "overlap": self.overlap.to_dict(),
+            "per_iteration": [it.to_dict() for it in self.per_iteration],
+            "frontier": self.frontier.to_dict(),
+            "phases": self.phases,
+            "counters": self.counters,
+            "verdict": self.verdict.to_dict(),
+            "model_validation": [c.to_dict() for c in self.validation],
+        }
+
+    def to_text(self) -> str:
+        t = self.sim_time or 1e-30
+        lines = [
+            f"profile: {self.algo} on {self.graph} "
+            f"({self.iterations} iterations, K={self.concurrent_shards})",
+            f"simulated time     : {self.sim_time:.6f} s",
+            "",
+            f"{'engine':10s} {'busy (s)':>12s} {'occupancy':>10s} {'served':>14s}",
+        ]
+        for name in sorted(self.engines):
+            e = self.engines[name]
+            unit = "items·s" if name == "sm" else "B"
+            lines.append(
+                f"{name:10s} {e.busy_seconds:12.6f} {100 * e.occupancy:9.1f}% "
+                f"{e.served_work:14.3e} {unit}"
+            )
+        lines += [
+            "",
+            f"overlap            : transfer busy {self.overlap.transfer_busy:.6f} s, "
+            f"kernel busy {self.overlap.kernel_busy:.6f} s",
+            f"                     {100 * self.overlap.efficiency:.1f}% of transfer "
+            "time hidden under kernels",
+            f"frontier skipping  : {self.frontier.shards_skipped}/"
+            f"{self.frontier.shards_processed + self.frontier.shards_skipped} shard-"
+            f"phases skipped ({100 * self.frontier.skip_rate:.1f}%), "
+            f"~{self.frontier.est_bytes_saved / 2**20:.2f} MiB of PCIe avoided",
+            "",
+            f"bottleneck         : {self.verdict.bottleneck} "
+            f"({100 * self.verdict.share:.0f}% of makespan)",
+            f"  why              : {self.verdict.reason}",
+            f"  recommendation   : {self.verdict.recommendation}",
+            "",
+            "model validation (predicted vs observed):",
+        ]
+        for c in self.validation:
+            mark = "ok " if c.ok else "FAIL"
+            lines.append(
+                f"  [{mark}] {c.name:24s} {c.predicted:.6e} vs {c.observed:.6e} "
+                f"(err {100 * c.rel_error:.2f}%, tol {100 * c.tolerance:.0f}%)"
+            )
+        busiest = sorted(
+            self.streams.values(), key=lambda s: -s.busy_seconds
+        )[:8]
+        if busiest:
+            lines += ["", f"{'stream':14s} {'busy (s)':>12s} {'copies':>7s} {'kernels':>8s}"]
+            for s in busiest:
+                lines.append(
+                    f"{s.name:14s} {s.busy_seconds:12.6f} {s.transfers:7d} {s.kernels:8d}"
+                )
+        return "\n".join(lines)
+
+    @property
+    def validation_ok(self) -> bool:
+        return all(c.ok for c in self.validation)
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> ProfileReport:
+    """Profile one :class:`~repro.core.runtime.GraphReduceResult`.
+
+    Needs the default observability switches (``observe=True``,
+    ``trace=True``); raises ValueError otherwise. ``machine`` is the
+    spec the run executed on (defaults to the standard testbed).
+    """
+    from repro.core.report import build_report
+
+    if result.trace is None or not result.trace.enabled:
+        raise ValueError("profiling needs the device trace (options.trace=True)")
+    obs = result.observer
+    if obs is None or not obs.enabled:
+        raise ValueError("profiling needs the span tree (options.observe=True)")
+    makespan = result.sim_time or 1e-30
+
+    # -- engines --------------------------------------------------------
+    engines: dict[str, EngineProfile] = {}
+    for name, snap in (result.engine_snapshots or {}).items():
+        busy = merge_intervals(
+            (s, e) for s, e, _frac in snap["timeline"]
+        )
+        engines[name] = EngineProfile(
+            name=name,
+            busy_seconds=total_length(busy),
+            utilization_seconds=snap["busy_time"],
+            served_work=snap["served_work"],
+            occupancy=total_length(busy) / makespan,
+            busy_intervals=busy,
+        )
+
+    # -- streams --------------------------------------------------------
+    per_stream: dict[str, list] = {}
+    for iv in result.trace.intervals:
+        per_stream.setdefault(iv.stream, []).append(iv)
+    streams = {}
+    for name, ivs in per_stream.items():
+        streams[name] = StreamProfile(
+            name=name,
+            busy_seconds=total_length(
+                merge_intervals((iv.service_begin, iv.end) for iv in ivs)
+            ),
+            transfers=sum(1 for iv in ivs if iv.category in ("h2d", "d2h")),
+            kernels=sum(1 for iv in ivs if iv.category == "kernel"),
+            bytes=sum(iv.amount for iv in ivs if iv.category in ("h2d", "d2h")),
+            items=sum(iv.amount for iv in ivs if iv.category == "kernel"),
+        )
+
+    # -- overlap --------------------------------------------------------
+    transfer_iv = merge_intervals(
+        (iv.service_begin, iv.end)
+        for iv in result.trace.intervals
+        if iv.category in ("h2d", "d2h")
+    )
+    kernel_iv = merge_intervals(
+        (iv.service_begin, iv.end)
+        for iv in result.trace.intervals
+        if iv.category == "kernel"
+    )
+    hidden_iv = intersect_intervals(transfer_iv, kernel_iv)
+    device_iv = merge_intervals(
+        (iv.service_begin, iv.end) for iv in result.trace.intervals
+    )
+    overlap = OverlapSummary(
+        transfer_busy=total_length(transfer_iv),
+        kernel_busy=total_length(kernel_iv),
+        hidden_transfer=total_length(hidden_iv),
+        device_busy=total_length(device_iv),
+    )
+
+    # -- per-iteration overlap -----------------------------------------
+    stats_by_index = {st.iteration: st for st in result.iteration_stats}
+    per_iteration: list[IterationOverlap] = []
+    for sp in obs.find(category="iteration"):
+        t0, t1 = sp.start, sp.end if sp.end is not None else sp.start
+        tr = clip_intervals(transfer_iv, t0, t1)
+        kr = clip_intervals(kernel_iv, t0, t1)
+        st = stats_by_index.get(sp.attrs.get("index"))
+        per_iteration.append(IterationOverlap(
+            index=int(sp.attrs.get("index", len(per_iteration))),
+            start=t0,
+            end=t1,
+            frontier=int(sp.attrs.get("frontier", 0)),
+            transfer_busy=total_length(tr),
+            kernel_busy=total_length(kr),
+            hidden_transfer=total_length(intersect_intervals(tr, kr)),
+            shards_processed=st.shards_processed if st else 0,
+            shards_skipped=st.shards_skipped if st else 0,
+        ))
+
+    # -- frontier skipping ---------------------------------------------
+    processed = result.stats.shards_processed
+    skipped = result.stats.shards_skipped
+    bytes_per_shard = (
+        result.stats.h2d_bytes / processed if processed else 0.0
+    )
+    frontier = FrontierSkipProfile(
+        shards_processed=processed,
+        shards_skipped=skipped,
+        iterations=result.iterations,
+        iterations_with_skips=sum(
+            1 for st in result.iteration_stats if st.shards_skipped
+        ),
+        est_bytes_saved=skipped * bytes_per_shard,
+    )
+
+    # -- phases ---------------------------------------------------------
+    report = build_report(result)
+    phases = {
+        name: {
+            "h2d_bytes": ph.h2d_bytes,
+            "d2h_bytes": ph.d2h_bytes,
+            "transfer_time": ph.transfer_time,
+            "kernel_time": ph.kernel_time,
+            "kernel_launches": ph.kernel_launches,
+            "wall_time": ph.wall_time,
+            "total_time": ph.total_time,
+            "shards": ph.shards,
+            "skipped": ph.skipped,
+        }
+        for name, ph in report.phases.items()
+    }
+
+    # -- verdict + validation ------------------------------------------
+    cache_attrs: dict = {}
+    for sp in obs.find(category="phase", name="cache"):
+        cache_attrs = sp.attrs
+        break
+    eq2_optimum = predict_concurrent_shards({**cache_attrs, "async_streams": True})
+    metrics = obs.metrics
+    sm = engines.get("sm")
+    verdict = diagnose(
+        makespan=makespan,
+        transfer_busy=overlap.transfer_busy,
+        kernel_busy=overlap.kernel_busy,
+        hidden_transfer=overlap.hidden_transfer,
+        device_busy=overlap.device_busy,
+        skip_rate=frontier.skip_rate,
+        kernel_launches=metrics.value("movement.kernel.launches"),
+        copies=metrics.value("movement.h2d.copies")
+        + metrics.value("movement.d2h.copies"),
+        concurrent_shards=result.concurrent_shards,
+        eq2_optimum=eq2_optimum,
+        spray_batches=metrics.value("movement.spray.batches"),
+        sm_occupancy=sm.occupancy if sm else 0.0,
+        cache_policy=str(cache_attrs.get("policy", "")),
+        machine=machine,
+    )
+    validation = validate_cost_model(result, machine=machine, tolerance=tolerance)
+
+    run_attrs: dict = {}
+    for sp in obs.find(category="run"):
+        run_attrs = sp.attrs
+        break
+    return ProfileReport(
+        algo=str(run_attrs.get("algo", "?")),
+        graph=str(run_attrs.get("graph", "?")),
+        sim_time=result.sim_time,
+        memcpy_time=result.memcpy_time,
+        kernel_time=result.kernel_time,
+        iterations=result.iterations,
+        concurrent_shards=result.concurrent_shards,
+        engines=engines,
+        streams=streams,
+        overlap=overlap,
+        per_iteration=per_iteration,
+        frontier=frontier,
+        phases=phases,
+        counters={n: c.value for n, c in sorted(metrics.counters.items())},
+        verdict=verdict,
+        validation=validation,
+    )
+
+
+def write_profile(path, report: ProfileReport) -> Path:
+    """Serialize a report to ``profile.json`` form; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path

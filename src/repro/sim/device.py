@@ -80,6 +80,14 @@ class GPUDevice:
             if all(s.idle for s in self._streams):
                 break
 
+    def engines(self) -> dict[str, FluidResource]:
+        """The shared hardware engines, keyed by profiler name."""
+        return {"h2d": self._h2d, "d2h": self._d2h, "sm": self.sm_pool}
+
+    def engine_snapshots(self) -> dict[str, dict]:
+        """Per-engine occupancy data (see FluidResource.profile_snapshot)."""
+        return {name: res.profile_snapshot() for name, res in self.engines().items()}
+
     # ------------------------------------------------------------------
     def transfer_time(self, nbytes: int) -> float:
         """Analytic solo-transfer duration (setup + bytes over the link)."""

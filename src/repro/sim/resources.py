@@ -86,6 +86,11 @@ class FluidResource:
         self._completion_event = None
         self.busy_time = 0.0  # integral of (allocated rate / capacity) dt
         self.served_work = 0.0
+        #: Utilization timeline: [start, end, fraction-of-capacity]
+        #: segments covering every instant the resource served work.
+        #: Adjacent segments at the same fraction merge, so the list
+        #: length is bounded by the number of rate changes, not events.
+        self.timeline: list[list[float]] = []
 
     # ------------------------------------------------------------------
     def submit(
@@ -142,6 +147,36 @@ class FluidResource:
         self._sync()
         return min(1.0, self.busy_time / t_end)
 
+    def busy_intervals(self) -> list[tuple[float, float]]:
+        """Merged (start, end) windows during which any job was served."""
+        merged: list[list[float]] = []
+        for start, end, _frac in self.timeline:
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        return [(s, e) for s, e in merged]
+
+    def busy_seconds(self) -> float:
+        """Length of the union of service windows (occupancy numerator)."""
+        return sum(e - s for s, e in self.busy_intervals())
+
+    def profile_snapshot(self) -> dict:
+        """Occupancy data for the profiler, JSON-shaped.
+
+        ``busy_seconds`` is wall time in service (union), ``busy_time``
+        the capacity-weighted integral, ``served_work`` total work units
+        delivered -- for a copy engine, exactly the bytes transferred.
+        """
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "busy_seconds": self.busy_seconds(),
+            "busy_time": self.busy_time,
+            "served_work": self.served_work,
+            "timeline": [list(seg) for seg in self.timeline],
+        }
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -168,6 +203,17 @@ class FluidResource:
                 total_rate += job.rate
             self.busy_time += (total_rate / self.capacity) * dt
             self.served_work += total_rate * dt
+            if total_rate > 0.0:
+                frac = total_rate / self.capacity
+                last = self.timeline[-1] if self.timeline else None
+                if (
+                    last is not None
+                    and last[1] >= self._last_update - 1e-15
+                    and abs(last[2] - frac) <= 1e-12
+                ):
+                    last[1] = self.sim.now
+                else:
+                    self.timeline.append([self._last_update, self.sim.now, frac])
         self._last_update = self.sim.now
 
     def _water_fill(self) -> None:

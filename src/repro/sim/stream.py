@@ -160,15 +160,31 @@ class Kernel(_Op):
         else:
             occupancy = min(1.0, max(work / spec.kernel_min_time, 1e-6))
         t_issue = device.sim.now
+        # The SM-service window (entry into the pool after launch
+        # overhead and any Hyper-Q queueing) feeds the occupancy
+        # profiler; the full issue-to-completion window stays the
+        # interval's [start, end] so kernel_time semantics are unchanged.
+        state = {"t_service": device.sim.now}
+
+        def mark_service():
+            state["t_service"] = device.sim.now
 
         def finish():
             device.trace.record(
-                t_issue, device.sim.now, "kernel", stream.name, self.items, self.label
+                t_issue,
+                device.sim.now,
+                "kernel",
+                stream.name,
+                self.items,
+                self.label,
+                service_start=state["t_service"],
             )
             done()
 
         def launch():
-            device.sm_pool.submit(work, finish, max_rate=occupancy, tag=self.label)
+            device.sm_pool.submit(
+                work, finish, max_rate=occupancy, tag=self.label, on_start=mark_service
+            )
 
         device.sim.after(spec.kernel_launch_overhead, launch)
 

@@ -16,6 +16,24 @@ from typing import Iterable
 CATEGORIES = ("h2d", "d2h", "kernel", "storage")
 
 
+def union_length(spans) -> float:
+    """Total length of the union of (start, end) pairs."""
+    total = 0.0
+    cur_start: float | None = None
+    cur_end = 0.0
+    for start, end in sorted(spans):
+        if cur_start is None:
+            cur_start, cur_end = start, end
+        elif start <= cur_end:
+            cur_end = max(cur_end, end)
+        else:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+    if cur_start is not None:
+        total += cur_end - cur_start
+    return total
+
+
 @dataclass(frozen=True)
 class Interval:
     """One completed operation on the simulated device."""
@@ -26,10 +44,20 @@ class Interval:
     stream: str
     amount: float  # bytes for copies, items for kernels
     label: str = ""
+    #: When the operation entered *service* on its engine (kernels: SM
+    #: entry after launch overhead and Hyper-Q queueing). None means the
+    #: service window equals [start, end] -- memcpy intervals already
+    #: trace the DMA service window.
+    service_start: float | None = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def service_begin(self) -> float:
+        """Start of the engine-service window (falls back to ``start``)."""
+        return self.start if self.service_start is None else self.service_start
 
 
 class TraceRecorder:
@@ -47,6 +75,7 @@ class TraceRecorder:
         stream: str,
         amount: float,
         label: str = "",
+        service_start: float | None = None,
     ) -> None:
         if not self.enabled:
             return
@@ -54,7 +83,13 @@ class TraceRecorder:
             raise ValueError(f"unknown trace category {category!r}")
         if end < start:
             raise ValueError(f"interval ends before it starts: {start!r}..{end!r}")
-        self.intervals.append(Interval(start, end, category, stream, amount, label))
+        if service_start is not None and not (start <= service_start <= end):
+            raise ValueError(
+                f"service_start {service_start!r} outside interval {start!r}..{end!r}"
+            )
+        self.intervals.append(
+            Interval(start, end, category, stream, amount, label, service_start)
+        )
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -77,23 +112,21 @@ class TraceRecorder:
         time" once copies overlap compute.
         """
         cats = categories or CATEGORIES
-        spans = sorted(
+        return union_length(
             (i.start, i.end) for i in self.intervals if i.category in cats
         )
-        total = 0.0
-        cur_start: float | None = None
-        cur_end = 0.0
-        for start, end in spans:
-            if cur_start is None:
-                cur_start, cur_end = start, end
-            elif start <= cur_end:
-                cur_end = max(cur_end, end)
-            else:
-                total += cur_end - cur_start
-                cur_start, cur_end = start, end
-        if cur_start is not None:
-            total += cur_end - cur_start
-        return total
+
+    def service_busy_span(self, *categories: str) -> float:
+        """Like :meth:`busy_span`, but over engine-*service* windows.
+
+        For transfers the two are identical (memcpy intervals trace the
+        DMA service); for kernels this excludes launch overhead and
+        Hyper-Q queueing, so it equals the SM pool's busy time.
+        """
+        cats = categories or CATEGORIES
+        return union_length(
+            (i.service_begin, i.end) for i in self.intervals if i.category in cats
+        )
 
     def makespan(self) -> float:
         """End time of the last recorded interval (0 when empty)."""

@@ -1,0 +1,117 @@
+"""AdaptiveEngine observability: CPU-placed iterations must be as
+visible as GPU-placed ones -- symmetric spans, symmetric counters, and
+one interleaved timeline in the Chrome export."""
+
+import json
+
+import pytest
+
+from repro.algorithms import SSSP, BFS, PageRank
+from repro.core.scheduler import AdaptiveEngine
+from repro.graph.generators import path_graph, rmat
+from repro.obs.export import RUNTIME_PID, to_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    """A run the engine splits across both processors: SSSP starts on a
+    1-vertex frontier (CPU wins), sweeps a dense rmat middle (GPU wins),
+    then finishes on the sparse tail (CPU again)."""
+    g = rmat(13, 120_000, seed=5).with_random_weights(seed=5)
+    return AdaptiveEngine(g).run(SSSP(source=0))
+
+
+class TestPlacementSpans:
+    def test_run_actually_mixes_placements(self, mixed):
+        assert set(mixed.placement) == {"gpu", "cpu"}
+        assert mixed.switches >= 2
+
+    def test_every_iteration_has_a_span_with_placement(self, mixed):
+        spans = list(mixed.observer.find(category="iteration"))
+        assert len(spans) == mixed.iterations
+        assert [sp.attrs["placement"] for sp in spans] == mixed.placement
+        for sp in spans:
+            assert sp.end is not None and sp.end >= sp.start
+            assert sp.attrs["frontier"] > 0
+
+    def test_cpu_spans_symmetric_with_gpu_spans(self, mixed):
+        """Same category, same attribute keys -- consumers need not
+        special-case the placement."""
+        by_side = {"gpu": [], "cpu": []}
+        for sp in mixed.observer.find(category="iteration"):
+            by_side[sp.attrs["placement"]].append(sp)
+        assert by_side["gpu"] and by_side["cpu"]
+        keys = {frozenset(sp.attrs) for side in by_side.values() for sp in side}
+        assert len(keys) == 1
+
+    def test_span_clock_accumulates_both_sides(self, mixed):
+        spans = sorted(mixed.observer.find(category="iteration"), key=lambda s: s.start)
+        for a, b in zip(spans, spans[1:]):
+            assert b.start >= a.end - 1e-15  # no overlap, either placement
+        total = sum(sp.end - sp.start for sp in spans)
+        assert total == pytest.approx(mixed.gpu_time + mixed.cpu_time, rel=1e-9)
+
+    def test_switch_events_recorded(self, mixed):
+        events = [
+            sp for sp in mixed.observer.iter_spans() if sp.category == "adaptive"
+        ]
+        assert len(events) == mixed.switches
+        assert {e.attrs["to"] for e in events} <= {"gpu", "cpu"}
+
+
+class TestPlacementCounters:
+    def test_counters_partition_the_iterations(self, mixed):
+        m = mixed.observer.metrics
+        gpu = m.value("adaptive.gpu_iterations")
+        cpu = m.value("adaptive.cpu_iterations")
+        assert gpu == mixed.placement.count("gpu")
+        assert cpu == mixed.placement.count("cpu")
+        assert gpu + cpu == mixed.iterations
+        assert m.value("adaptive.switches") == mixed.switches
+
+    def test_all_cpu_run_counts_symmetrically(self):
+        res = AdaptiveEngine(path_graph(500)).run(BFS(source=0))
+        m = res.observer.metrics
+        assert set(res.placement) == {"cpu"}
+        assert m.value("adaptive.cpu_iterations") == res.iterations
+        assert m.value("adaptive.gpu_iterations") == 0
+
+    def test_all_gpu_run_counts_symmetrically(self):
+        res = AdaptiveEngine(rmat(12, 40_000, seed=7)).run(PageRank(tolerance=1e-3))
+        m = res.observer.metrics
+        assert set(res.placement) == {"gpu"}
+        assert m.value("adaptive.gpu_iterations") == res.iterations
+        assert m.value("adaptive.cpu_iterations") == 0
+
+    def test_observe_false_disables_cleanly(self):
+        res = AdaptiveEngine(path_graph(200), observe=False).run(BFS(source=0))
+        assert res.observer is None
+        assert res.converged
+
+
+class TestAdaptiveChromeExport:
+    def test_trace_interleaves_both_placements(self, mixed):
+        doc = to_chrome_trace(observer=mixed.observer)
+        evs = [
+            ev
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "X"
+            and ev["pid"] == RUNTIME_PID
+            and ev["cat"] == "iteration"
+        ]
+        assert len(evs) == mixed.iterations
+        # Sorted by timestamp, the events reproduce the placement
+        # sequence exactly: one timeline, both processors on it.
+        evs.sort(key=lambda ev: ev["ts"])
+        assert [ev["args"]["placement"] for ev in evs] == mixed.placement
+        assert {ev["args"]["placement"] for ev in evs} == {"gpu", "cpu"}
+        # Contiguous non-overlapping slots on the shared clock.
+        for a, b in zip(evs, evs[1:]):
+            assert b["ts"] >= a["ts"] + a["dur"] - 1e-9
+
+    def test_export_json_serializable(self, mixed):
+        doc = to_chrome_trace(observer=mixed.observer)
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["metrics"]["counters"]["adaptive.switches"]["value"] == (
+            mixed.switches
+        )

@@ -118,3 +118,59 @@ class TestCommittedBaseline:
         regs = compare(crippled, fresh, tolerance=doc["tolerance"])
         assert regs
         assert all(isinstance(r, Regression) for r in regs)
+
+
+def snap_doc(sim=1.0, name="a"):
+    return {"version": 1, "tolerance": 0.10, "benchmarks": {name: meas(sim)}}
+
+
+class TestDiffDocuments:
+    def test_identical_snapshots_clean(self):
+        doc = snap_doc()
+        rows, regs = bench.diff_documents(doc, doc)
+        assert rows and regs == []
+        assert all(r.delta == 0 for r in rows)
+
+    def test_degraded_snapshot_flags_regressions(self):
+        """ISSUE acceptance: a deliberately degraded snapshot regresses."""
+        rows, regs = bench.diff_documents(snap_doc(1.0), snap_doc(1.5))
+        metrics = {r.metric for r in regs}
+        assert {"sim_time", "memcpy_time", "kernel_time", "phase:gather_map"} <= metrics
+        r = next(r for r in regs if r.metric == "sim_time")
+        assert r.ratio == pytest.approx(1.5)
+        assert "1.50x" in str(r)
+
+    def test_improvement_is_not_a_regression(self):
+        rows, regs = bench.diff_documents(snap_doc(1.0), snap_doc(0.5))
+        assert any(r.delta != 0 for r in rows)
+        assert regs == []
+
+    def test_tolerance_respected(self):
+        assert bench.diff_documents(snap_doc(1.0), snap_doc(1.05), tolerance=0.10)[1] == []
+        assert bench.diff_documents(snap_doc(1.0), snap_doc(1.05), tolerance=0.01)[1]
+
+    def test_one_sided_cases_skipped(self):
+        rows, regs = bench.diff_documents(snap_doc(1.0, name="a"), snap_doc(9.0, name="b"))
+        assert rows == [] and regs == []
+
+    def test_counters_never_regress_alone(self):
+        a = {"profile_version": 1, "algo": "pr", "graph": "g", "sim_time": 1.0,
+             "counters": {"movement.h2d.copies": 10}}
+        b = {"profile_version": 1, "algo": "pr", "graph": "g", "sim_time": 1.0,
+             "counters": {"movement.h2d.copies": 999}}
+        rows, regs = bench.diff_documents(a, b)
+        assert any(r.metric == "counter:movement.h2d.copies" for r in rows)
+        assert regs == []
+
+    def test_profile_vs_bench_document_mix(self):
+        prof = {"profile_version": 1, "algo": "pr", "graph": "g",
+                "sim_time": 2.0, "memcpy_time": 1.0}
+        bench_doc = {"version": 1, "benchmarks": {"pr/g": {"sim_time": 1.0,
+                     "memcpy_time": 1.0, "iterations": 3, "phases": {}}}}
+        rows, regs = bench.diff_documents(bench_doc, prof)
+        assert any(r.metric == "sim_time" and r.ratio == 2.0 for r in rows)
+        assert any(r.metric == "sim_time" for r in regs)
+
+    def test_unrecognized_document_raises(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            bench.metric_table({"whatever": 1})

@@ -112,7 +112,62 @@ class TestMetrics:
         assert d["buckets"] == {"0": 1, "1": 1, "2": 1, "10": 1}
 
     def test_empty_histogram(self):
-        assert Histogram("h").to_dict() == {"count": 0}
+        import json
+
+        d = Histogram("h").to_dict()
+        assert d == {"count": 0, "min": None, "max": None}
+        # +/-inf never leaks into the JSON document.
+        assert json.loads(json.dumps(d)) == d
+        rt = Histogram.from_dict("h", json.loads(json.dumps(d)))
+        assert rt.count == 0 and rt.min == float("inf") and rt.max == float("-inf")
+
+    def test_histogram_merge_matches_combined_stream(self):
+        a, b, both = Histogram("h"), Histogram("h"), Histogram("h")
+        for v in (1, 5, 9):
+            a.observe(v)
+            both.observe(v)
+        for v in (2, 300):
+            b.observe(v)
+            both.observe(v)
+        a.merge(b)
+        assert a.to_dict() == both.to_dict()
+        # Merging an empty histogram is a no-op either way around.
+        assert Histogram("h").merge(a).to_dict() == both.to_dict()
+        assert a.merge(Histogram("h")).to_dict() == both.to_dict()
+
+    def test_histogram_json_round_trip(self):
+        import json
+
+        h = Histogram("h")
+        for v in (1, 2, 3, 1000):
+            h.observe(v)
+        rt = Histogram.from_dict("h", json.loads(json.dumps(h.to_dict())))
+        assert rt.to_dict() == h.to_dict()
+
+    def test_registry_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.add("bytes", 100)
+        a.observe("size", 4)
+        b.add("bytes", 50)
+        b.add("copies", 2)
+        b.observe("size", 9)
+        b.observe("other", 1)
+        a.merge(b)
+        assert a.value("bytes") == 150
+        assert a.value("copies") == 2
+        assert a.histogram("size").count == 2
+        assert a.histogram("size").max == 9
+        assert a.histogram("other").count == 1
+
+    def test_registry_snapshot_round_trip(self):
+        import json
+
+        m = MetricsRegistry()
+        m.add("a", 3)
+        m.observe("b", 7)
+        m.histogram("empty")  # never observed
+        rt = MetricsRegistry.from_snapshot(json.loads(json.dumps(m.snapshot())))
+        assert rt.snapshot() == m.snapshot()
 
     def test_registry_creates_on_first_use(self):
         m = MetricsRegistry()

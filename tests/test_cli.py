@@ -171,3 +171,136 @@ class TestBenchCheck:
         err = capsys.readouterr().err
         assert code == 2
         assert "not found" in err
+
+
+class TestProfile:
+    def test_writes_profile_and_validates(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        trace_path = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys,
+            "profile",
+            "--algo",
+            "pagerank",
+            "--graph",
+            "delaunay_n13",
+            "--out",
+            str(out_path),
+            "--trace-out",
+            str(trace_path),
+        )
+        assert code == 0
+        assert "bottleneck" in out and "model validation" in out
+        assert "[ok ]" in out and "FAIL" not in out
+        doc = json.loads(out_path.read_text())
+        assert doc["profile_version"] == 1
+        assert doc["verdict"]["recommendation"]
+        assert all(c["ok"] for c in doc["model_validation"])
+        assert json.loads(trace_path.read_text())["traceEvents"]
+
+    def test_streaming_profile(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        code, out = run_cli(
+            capsys,
+            "profile",
+            "--algo",
+            "bfs",
+            "--graph",
+            "delaunay_n13",
+            "--cache-policy",
+            "never",
+            "--out",
+            str(out_path),
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["counters"]["movement.h2d.copies"] > 0
+
+    def test_unoptimized_profile(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        code, out = run_cli(
+            capsys, "profile", "--algo", "cc", "--graph", "delaunay_n13",
+            "--unoptimized", "--out", str(out_path),
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["overlap"]["efficiency"] == 0.0
+
+
+class TestBenchDiff:
+    @pytest.fixture()
+    def profile_doc(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        code, _ = run_cli(
+            capsys, "profile", "--algo", "pagerank", "--graph", "delaunay_n13",
+            "--out", str(path),
+        )
+        assert code == 0
+        return path
+
+    def test_identical_profiles_pass(self, profile_doc, tmp_path, capsys):
+        code, out = run_cli(
+            capsys, "bench-diff", str(profile_doc), str(profile_doc)
+        )
+        assert code == 0
+        assert "no timing metric regressed" in out
+
+    def test_degraded_profile_exits_nonzero(self, profile_doc, tmp_path, capsys):
+        """ISSUE acceptance: a deliberately degraded snapshot must fail."""
+        doc = json.loads(profile_doc.read_text())
+        doc["sim_time"] *= 1.5
+        for ph in doc["phases"].values():
+            ph["total_time"] *= 1.5
+        degraded = tmp_path / "degraded.json"
+        degraded.write_text(json.dumps(doc))
+        code = main(["bench-diff", str(profile_doc), str(degraded)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSION" in captured.out
+        assert "regression(s)" in captured.err
+        assert "sim_time" in captured.err
+
+    def test_bench_snapshot_diffs_against_itself(self, capsys):
+        code, out = run_cli(
+            capsys, "bench-diff", "benchmarks/BENCH_baseline.json",
+            "benchmarks/BENCH_baseline.json", "--all",
+        )
+        assert code == 0
+        assert "pagerank_rmat12" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["bench-diff", str(tmp_path / "a.json"), str(tmp_path / "b.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unrecognized_document_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        code = main(["bench-diff", str(bad), str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchCheckUpdate:
+    def test_update_preserves_tuned_tolerance(self, tmp_path, capsys):
+        """`--update` must not silently reset a tuned gate to default."""
+        from repro.obs import bench
+
+        snap = tmp_path / "BENCH_tuned.json"
+        bench.save_snapshot(snap, bench.run_suite(["cc_er"]), tolerance=0.25)
+        code, out = run_cli(capsys, "bench-check", "--snapshot", str(snap), "--update")
+        assert code == 0
+        assert bench.load_snapshot(snap)["tolerance"] == 0.25
+        assert "tolerance 0.25" in out
+
+    def test_update_explicit_tolerance_wins(self, tmp_path, capsys):
+        from repro.obs import bench
+
+        snap = tmp_path / "BENCH_tuned.json"
+        bench.save_snapshot(snap, bench.run_suite(["cc_er"]), tolerance=0.25)
+        code, _ = run_cli(
+            capsys, "bench-check", "--snapshot", str(snap), "--update",
+            "--tolerance", "0.05",
+        )
+        assert code == 0
+        assert bench.load_snapshot(snap)["tolerance"] == 0.05
