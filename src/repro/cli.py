@@ -8,6 +8,7 @@
     python -m repro trace --algo pagerank --out trace.json
     python -m repro profile --algo pagerank --out profile.json
     python -m repro bench-check --snapshot benchmarks/BENCH_baseline.json
+    python -m repro bench-wallclock --update
     python -m repro bench-diff old.json new.json
 
 ``run`` executes one algorithm under GraphReduce and prints the result
@@ -18,8 +19,12 @@ baseline framework; ``trace`` writes a Chrome ``trace_event`` JSON
 occupancy, overlap efficiency, a bottleneck verdict and the cost-model
 validation pass) and writes ``profile.json``; ``bench-check`` reruns
 the standard benchmark suite against a committed timing snapshot,
-exiting non-zero on regression; and ``bench-diff`` prints per-phase /
-per-counter deltas between any two bench or profile snapshots. Graphs
+exiting non-zero on regression; ``bench-wallclock`` measures the host
+fast-path wall-clock speedups (fast vs slow configuration, same
+machine) against ``benchmarks/BENCH_wallclock.json``, gating both the
+recorded simulated metrics and the per-case speedup floors; and
+``bench-diff`` prints per-phase / per-counter deltas between any two
+bench or profile snapshots. Graphs
 are either Table-1 dataset names or paths to edge-list / ``.npz`` /
 MatrixMarket files.
 """
@@ -52,10 +57,25 @@ ALGORITHMS = {
     "bfs": lambda args: BFS(source=args.source),
     "sssp": lambda args: SSSP(source=args.source),
     "pagerank": lambda args: PageRank(tolerance=args.tolerance),
+    # Fixed-iteration power formulation: every vertex active/changed
+    # each round (the classic PageRank benchmark shape, and the steady
+    # state the host fast paths reuse plans across).
+    "pagerank-power": lambda args: PageRank(
+        tolerance=None, max_iterations=args.power_iterations
+    ),
     "cc": lambda args: ConnectedComponents(),
     "kcore": lambda args: KCore(k=args.k),
     "labelprop": lambda args: LabelPropagation(),
 }
+
+
+def _fastpath_options(args) -> dict:
+    """GraphReduceOptions kwargs from the host fast-path toggles."""
+    return {
+        "dense_fast_path": not args.no_dense_path,
+        "plan_cache": not args.no_plan_cache,
+        "parallel_shards": args.parallel_shards,
+    }
 
 
 def load_graph(spec: str) -> EdgeList:
@@ -124,6 +144,7 @@ def cmd_run(args) -> int:
             cache_policy=args.cache_policy,
             host_backing=args.host_backing,
             execution_mode=args.execution_mode,
+            **_fastpath_options(args),
         )
     )
     result = GraphReduce(graph, options=opts).run(program, max_iterations=args.max_iterations)
@@ -139,6 +160,11 @@ def cmd_run(args) -> int:
     print(f"H2D / D2H  : {result.stats.h2d_bytes / 2**20:.2f} / "
           f"{result.stats.d2h_bytes / 2**20:.2f} MiB, "
           f"{result.stats.kernel_launches} kernels")
+    if result.plan_cache is not None:
+        pc = result.plan_cache
+        queries = pc["hits"] + pc["misses"]
+        print(f"plan cache : {pc['hits']}/{queries} hits "
+              f"({100 * pc['hit_rate']:.1f}%), {pc['invalidations']} invalidations")
     finite = vals[np.isfinite(vals)]
     if len(finite):
         print(f"values     : min {finite.min():.4g}, max {finite.max():.4g}, "
@@ -155,7 +181,7 @@ def cmd_trace(args) -> int:
     opts = (
         GraphReduceOptions.unoptimized()
         if args.unoptimized
-        else GraphReduceOptions(num_partitions=args.partitions)
+        else GraphReduceOptions(num_partitions=args.partitions, **_fastpath_options(args))
     )
     result = GraphReduce(graph, options=opts).run(program, max_iterations=args.max_iterations)
     doc = result_to_chrome_trace(result)
@@ -185,7 +211,9 @@ def cmd_profile(args) -> int:
         GraphReduceOptions.unoptimized()
         if args.unoptimized
         else GraphReduceOptions(
-            num_partitions=args.partitions, cache_policy=args.cache_policy
+            num_partitions=args.partitions,
+            cache_policy=args.cache_policy,
+            **_fastpath_options(args),
         )
     )
     result = GraphReduce(graph, options=opts).run(program, max_iterations=args.max_iterations)
@@ -292,6 +320,20 @@ def cmd_bench_check(args) -> int:
         cur = fresh[name].get("sim_time", 0.0)
         ratio = cur / base if base else float("inf")
         print(f"{name:20s} {base:12.6f}s -> {cur:12.6f}s  {ratio:6.2f}x")
+    # The wall-clock snapshot's *simulated* metrics are deterministic
+    # too; gate them alongside the baseline (the machine-dependent wall
+    # times and speedups are bench-wallclock's concern, never compared
+    # here).
+    wallclock_path = Path(args.wallclock_snapshot)
+    if wallclock_path.exists():
+        wdoc = bench.load_snapshot(wallclock_path)
+        wfresh = bench.run_wallclock_suite(repeats=1)
+        regressions += bench.compare(wdoc["benchmarks"], wfresh, tolerance=tolerance)
+        for name in sorted(wdoc["benchmarks"]):
+            base = wdoc["benchmarks"][name].get("sim_time", 0.0)
+            cur = wfresh.get(name, {}).get("sim_time", 0.0)
+            ratio = cur / base if base else float("inf")
+            print(f"{name:20s} {base:12.6f}s -> {cur:12.6f}s  {ratio:6.2f}x")
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond {100 * tolerance:.0f}%:",
               file=sys.stderr)
@@ -299,6 +341,68 @@ def cmd_bench_check(args) -> int:
             print(f"  {reg}", file=sys.stderr)
         return 1
     print(f"\nok: no phase regressed beyond {100 * tolerance:.0f}%")
+    return 0
+
+
+def cmd_bench_wallclock(args) -> int:
+    from repro.obs import bench
+
+    fresh = bench.run_wallclock_suite(repeats=args.repeats)
+    for name, m in sorted(fresh.items()):
+        pc = m.get("plan_cache") or {}
+        print(f"{name:22s} fast {m['wall_seconds_fast'] * 1e3:8.1f} ms  "
+              f"slow {m['wall_seconds_slow'] * 1e3:8.1f} ms  "
+              f"speedup {m['speedup']:5.2f}x (floor {m['min_speedup']:.1f}x)  "
+              f"plan hits {100 * pc.get('hit_rate', 0.0):5.1f}%")
+    if args.out:
+        bench.save_snapshot(args.out, fresh)
+        print(f"wrote {args.out}")
+    # Speedup floors are same-machine, same-moment ratios -- enforce
+    # them on every invocation, including --update, so a regressed
+    # fast path cannot be silently baked into the snapshot.
+    failures = [
+        (name, m["speedup"], m["min_speedup"])
+        for name, m in sorted(fresh.items())
+        if m.get("min_speedup") and m["speedup"] < m["min_speedup"]
+    ]
+    snapshot_path = Path(args.snapshot)
+    if args.update:
+        tolerance = args.tolerance
+        if tolerance is None and snapshot_path.exists():
+            try:
+                tolerance = bench.load_snapshot(snapshot_path).get("tolerance")
+            except ValueError:
+                tolerance = None
+        if tolerance is None:
+            tolerance = bench.DEFAULT_TOLERANCE
+        path = bench.save_snapshot(snapshot_path, fresh, tolerance=tolerance)
+        print(f"wrote {path} ({len(fresh)} benchmarks, tolerance {tolerance:g})")
+    elif not snapshot_path.exists():
+        print(f"error: snapshot {snapshot_path} not found "
+              "(run `repro bench-wallclock --update` to create it)", file=sys.stderr)
+        return 2
+    else:
+        doc = bench.load_snapshot(snapshot_path)
+        tolerance = args.tolerance if args.tolerance is not None else doc.get(
+            "tolerance", bench.DEFAULT_TOLERANCE
+        )
+        regressions, failures = bench.check_wallclock(
+            doc["benchmarks"], fresh, tolerance=tolerance
+        )
+        if regressions:
+            print(f"\n{len(regressions)} simulated-metric regression(s) beyond "
+                  f"{100 * tolerance:.0f}%:", file=sys.stderr)
+            for reg in regressions:
+                print(f"  {reg}", file=sys.stderr)
+    if failures:
+        for name, speedup, floor in failures:
+            print(f"error: {name} speedup {speedup:.2f}x below the "
+                  f"{floor:.1f}x floor", file=sys.stderr)
+        return 1
+    if not args.update:
+        if regressions:
+            return 1
+        print("\nok: speedup floors hold and no simulated metric regressed")
     return 0
 
 
@@ -324,6 +428,17 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _add_fastpath_args(p) -> None:
+    p.add_argument("--no-dense-path", action="store_true",
+                   help="disable the dense-frontier host fast path")
+    p.add_argument("--no-plan-cache", action="store_true",
+                   help="disable the gather/scatter plan cache")
+    p.add_argument(
+        "--parallel-shards", type=int, default=0,
+        help="thread-pool workers for parallel shard compute (0 = off; bsp only)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="GraphReduce (SC'15) reproduction CLI"
@@ -341,10 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--source", type=int, default=0, help="BFS/SSSP source vertex")
         p.add_argument("--tolerance", type=float, default=1e-3, help="PageRank tolerance")
         p.add_argument("--k", type=int, default=3, help="k for k-core")
+        p.add_argument("--power-iterations", type=int, default=25,
+                       help="rounds for pagerank-power")
         p.add_argument("--max-iterations", type=int, default=100_000)
     run_p = next(a for a in sub.choices.values() if a.prog.endswith("run"))
     run_p.add_argument("--unoptimized", action="store_true",
                        help="disable every Section-5 optimization (Figure 15 baseline)")
+    _add_fastpath_args(run_p)
     run_p.add_argument("--partitions", type=int, default=None, help="shard count override")
     run_p.add_argument(
         "--cache-policy", choices=("auto", "never", "greedy", "lru"), default="auto"
@@ -367,10 +485,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--out", default="trace.json", help="output trace path")
     trace_p.add_argument("--unoptimized", action="store_true",
                          help="trace the Figure-15 baseline configuration")
+    _add_fastpath_args(trace_p)
     trace_p.add_argument("--partitions", type=int, default=None)
     trace_p.add_argument("--source", type=int, default=0)
     trace_p.add_argument("--tolerance", type=float, default=1e-3)
     trace_p.add_argument("--k", type=int, default=3)
+    trace_p.add_argument("--power-iterations", type=int, default=25)
     trace_p.add_argument("--max-iterations", type=int, default=100_000)
 
     prof_p = sub.add_parser(
@@ -389,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write a Chrome trace_event JSON here")
     prof_p.add_argument("--unoptimized", action="store_true",
                         help="profile the Figure-15 baseline configuration")
+    _add_fastpath_args(prof_p)
     prof_p.add_argument("--partitions", type=int, default=None)
     prof_p.add_argument(
         "--cache-policy", choices=("auto", "never", "greedy", "lru"), default="auto"
@@ -396,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--source", type=int, default=0)
     prof_p.add_argument("--tolerance", type=float, default=1e-3)
     prof_p.add_argument("--k", type=int, default=3)
+    prof_p.add_argument("--power-iterations", type=int, default=25)
     prof_p.add_argument("--max-iterations", type=int, default=100_000)
 
     diff_p = sub.add_parser(
@@ -427,6 +549,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument("--update", action="store_true",
                          help="rewrite the snapshot from a fresh run")
+    bench_p.add_argument(
+        "--wallclock-snapshot", default="benchmarks/BENCH_wallclock.json",
+        help="also gate this wall-clock snapshot's simulated metrics "
+             "when it exists (default: benchmarks/BENCH_wallclock.json)",
+    )
+
+    wall_p = sub.add_parser(
+        "bench-wallclock",
+        help="measure host fast-path wall-clock speedups against the committed snapshot",
+    )
+    wall_p.add_argument(
+        "--snapshot", default="benchmarks/BENCH_wallclock.json",
+        help="snapshot path (default: benchmarks/BENCH_wallclock.json)",
+    )
+    wall_p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative simulated-metric slowdown that counts as a regression "
+             "(default: the snapshot's recorded tolerance)",
+    )
+    wall_p.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per configuration (best-of)")
+    wall_p.add_argument("--out", default=None,
+                        help="also write the fresh measurements here (CI artifact)")
+    wall_p.add_argument("--update", action="store_true",
+                        help="rewrite the snapshot from this run's measurements")
     return parser
 
 
@@ -440,6 +587,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "profile": cmd_profile,
         "bench-check": cmd_bench_check,
+        "bench-wallclock": cmd_bench_wallclock,
         "bench-diff": cmd_bench_diff,
     }
     return commands[args.command](args)

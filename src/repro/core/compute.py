@@ -32,7 +32,8 @@ import numpy as np
 from repro.core.api import GASProgram
 from repro.core.frontier import FrontierManager
 from repro.core.partition import Shard, ShardedGraph
-from repro.graph.csr import ragged_gather
+from repro.core.plans import PlanCache
+from repro.graph.csr import segment_reduce
 from repro.obs.span import NULL_OBSERVER
 
 
@@ -72,12 +73,20 @@ class ComputeEngine:
         ctx,
         frontier: FrontierManager,
         obs=None,
+        plans: PlanCache | None = None,
     ):
         self.sharded = sharded
         self.program = program
         self.ctx = ctx
         self.frontier = frontier
         self.obs = obs if obs is not None else NULL_OBSERVER
+        # Default to a disabled cache: every query rebuilds from the
+        # frontier masks, exactly the slow path. The runtime passes an
+        # enabled cache; call sites that mutate masks directly (unit
+        # tests, multi-GPU) keep slow-path semantics untouched.
+        self.plans = plans if plans is not None else PlanCache(
+            sharded, frontier, obs=self.obs, dense=False, cache=False
+        )
         n = sharded.num_vertices
         self.vertex_values = np.asarray(program.init_vertices(ctx))
         if self.vertex_values.shape != (n,):
@@ -116,22 +125,22 @@ class ComputeEngine:
     def _gather_map(self, shard: Shard, count_full: bool) -> WorkItems:
         if not self.program.has_gather:
             return WorkItems(edge_items=shard.num_in_edges if count_full else 0)
-        rows = self.frontier.active_in(shard.start, shard.stop)
-        pos, seg = ragged_gather(shard.csc.indptr, rows - shard.start)
-        n_edges = shard.num_in_edges if count_full else len(pos)
-        if len(pos) == 0:
+        plan = self.plans.gather_plan(shard)
+        n_edges = shard.num_in_edges if count_full else plan.n_edges
+        if plan.n_edges == 0:
             return WorkItems(edge_items=n_edges)
-        src = shard.csc.indices[pos]
-        eids = shard.csc.edge_ids[pos]
-        weights = None if shard.csc_weights is None else shard.csc_weights[pos]
-        states = None if self.edge_state is None else self.edge_state[eids]
-        dst = (seg + shard.start).astype(src.dtype)
+        # np.take beats values[indices] advanced indexing on the hot
+        # O(E) gathers (same result, same dtype).
+        states = None if self.edge_state is None else np.take(self.edge_state, plan.eids)
         contrib = self.program.gather_map(
-            self.ctx, src, dst, self.vertex_values[src], weights, states
+            self.ctx,
+            plan.indices,
+            plan.row_ids,
+            np.take(self.vertex_values, plan.indices),
+            plan.weights,
+            states,
         )
-        starts = np.flatnonzero(np.r_[True, seg[1:] != seg[:-1]])
-        verts = seg[starts] + shard.start
-        self._pending[shard.index] = _PendingGather(starts, verts, contrib)
+        self._pending[shard.index] = _PendingGather(plan.starts, plan.verts, contrib)
         return WorkItems(edge_items=n_edges)
 
     def _gather_reduce(self, shard: Shard, count_full: bool) -> WorkItems:
@@ -139,8 +148,8 @@ class ComputeEngine:
         pending = self._pending.pop(shard.index, None)
         if pending is None:
             return WorkItems(vertex_items=n_vert)
-        reduced = self.program.gather_reduce.reduceat(
-            pending.contributions, pending.starts
+        reduced = segment_reduce(
+            self.program.gather_reduce, pending.contributions, pending.starts
         )
         self.gather_temp[pending.verts] = reduced.astype(
             self.program.gather_dtype, copy=False
@@ -153,45 +162,53 @@ class ComputeEngine:
     def _scatter(self, shard: Shard, count_full: bool) -> WorkItems:
         if not self.program.has_scatter:
             return WorkItems(edge_items=shard.num_out_edges if count_full else 0)
-        rows = self.frontier.changed_in(shard.start, shard.stop)
-        pos, seg = ragged_gather(shard.csr.indptr, rows - shard.start)
-        n_edges = shard.num_out_edges if count_full else len(pos)
-        if len(pos) == 0:
+        plan = self.plans.out_plan(shard, full=True)
+        n_edges = shard.num_out_edges if count_full else plan.n_edges
+        if plan.n_edges == 0:
             return WorkItems(edge_items=n_edges)
-        src_ids = (seg + shard.start).astype(shard.csr.indices.dtype)
-        eids = shard.csr.edge_ids[pos]
-        weights = None if shard.csr_weights is None else shard.csr_weights[pos]
-        states = None if self.edge_state is None else self.edge_state[eids]
+        states = None if self.edge_state is None else np.take(self.edge_state, plan.eids)
         new_states = self.program.scatter(
-            self.ctx, src_ids, self.vertex_values[src_ids], weights, states
+            self.ctx, plan.row_ids, np.take(self.vertex_values, plan.row_ids), plan.weights, states
         )
         if self.edge_state is not None:
-            self.edge_state[eids] = new_states
+            self.edge_state[plan.eids] = new_states
         return WorkItems(edge_items=n_edges)
 
     def _frontier_activate(self, shard: Shard, count_full: bool) -> WorkItems:
-        rows = self.frontier.changed_in(shard.start, shard.stop)
-        pos, _seg = ragged_gather(shard.csr.indptr, rows - shard.start)
-        n_edges = shard.num_out_edges if count_full else len(pos)
-        if len(pos):
-            self.frontier.activate_next(shard.csr.indices[pos])
+        plan = self.plans.out_plan(shard, full=self.program.has_scatter)
+        n_edges = shard.num_out_edges if count_full else plan.n_edges
+        if plan.n_edges:
+            if plan.targets is not None:
+                # Dense plan: OR in the deduplicated target mask; the
+                # resulting frontier is identical (idempotent writes)
+                # and the recorded count stays per-out-edge.
+                self.frontier.activate_next_mask(plan.targets, count=plan.n_edges)
+            else:
+                self.frontier.activate_next(plan.indices)
         return WorkItems(edge_items=n_edges)
 
     # ------------------------------------------------------------------
     # Vertex-centric phase
     # ------------------------------------------------------------------
     def _apply(self, shard: Shard, count_full: bool) -> WorkItems:
-        rows = self.frontier.active_in(shard.start, shard.stop)
+        rows, dense = self.plans.active_rows(shard)
         n_vert = shard.num_interval_vertices if count_full else len(rows)
         if len(rows) == 0:
             return WorkItems(vertex_items=n_vert)
+        if dense:
+            # Whole interval active: contiguous slice copies of the
+            # vertex-indexed buffers instead of O(V) fancy gathers. The
+            # copies keep apply's inputs private, as the slow path does.
+            lo, hi = shard.start, shard.stop
+            old_vals = self.vertex_values[lo:hi].copy()
+            gathered = self.gather_temp[lo:hi].copy()
+            has = self.gather_has[lo:hi].copy()
+        else:
+            old_vals = self.vertex_values[rows]
+            gathered = self.gather_temp[rows]
+            has = self.gather_has[rows]
         new_vals, changed = self.program.apply(
-            self.ctx,
-            rows,
-            self.vertex_values[rows],
-            self.gather_temp[rows],
-            self.gather_has[rows],
-            self.iteration,
+            self.ctx, rows, old_vals, gathered, has, self.iteration
         )
         changed = np.asarray(changed, dtype=bool)
         if changed.shape != rows.shape:
@@ -199,8 +216,10 @@ class ComputeEngine:
                 f"{type(self.program).__name__}.apply returned a changed mask "
                 f"of shape {changed.shape}; expected {rows.shape}"
             )
-        self.vertex_values[rows] = np.asarray(new_vals).astype(
-            self.program.vertex_dtype, copy=False
-        )
+        out = np.asarray(new_vals).astype(self.program.vertex_dtype, copy=False)
+        if dense:
+            self.vertex_values[shard.start : shard.stop] = out
+        else:
+            self.vertex_values[rows] = out
         self.frontier.mark_changed(rows[changed])
         return WorkItems(vertex_items=n_vert)

@@ -14,6 +14,8 @@ Figures 3, 16 and 17.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.partition import ShardedGraph
@@ -41,6 +43,18 @@ class FrontierManager:
         self.history: list[int] = [int(initial.sum())]
         self._starts = sharded.boundaries[:-1]
         self._stops = sharded.boundaries[1:]
+        # Write-generation clocks consumed by :mod:`repro.core.plans`:
+        # one per (mask, shard interval). Every mutation of a mask bumps
+        # the epochs of the intervals it may have touched, so a cached
+        # index plan recorded at epoch e for shard i is provably fresh
+        # while ``*_epochs[i] == e`` -- without rescanning the mask. The
+        # lock covers parallel shard compute (mark_changed runs on
+        # worker threads).
+        p = sharded.num_partitions
+        self._plan_epoch = 0
+        self.active_epochs = np.zeros(p, dtype=np.int64)
+        self.changed_epochs = np.zeros(p, dtype=np.int64)
+        self._epoch_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Queries used to build each phase's shard work list
@@ -50,10 +64,22 @@ class FrontierManager:
         return int(self.current.sum())
 
     def counts_per_shard(self, mask: np.ndarray) -> np.ndarray:
-        """How many set vertices of ``mask`` fall in each interval."""
-        prefix = np.zeros(len(mask) + 1, dtype=np.int64)
-        np.cumsum(mask, out=prefix[1:])
-        return prefix[self._stops] - prefix[self._starts]
+        """How many set vertices of ``mask`` fall in each interval.
+
+        One ``np.add.reduceat`` over the interval starts instead of an
+        O(V) prefix-sum array. Empty intervals need care: reduceat
+        yields the *element* at the start index for an empty segment, so
+        reduce only over non-empty intervals (their starts partition the
+        mask) and leave the empty ones at zero.
+        """
+        lengths = self._stops - self._starts
+        counts = np.zeros(len(lengths), dtype=np.int64)
+        nonempty = np.flatnonzero(lengths)
+        if len(mask) and len(nonempty):
+            counts[nonempty] = np.add.reduceat(
+                mask, self._starts[nonempty], dtype=np.int64
+            )
+        return counts
 
     def active_shards(self) -> np.ndarray:
         """Shards with at least one *active* vertex (gather/apply work)."""
@@ -70,23 +96,100 @@ class FrontierManager:
     def changed_in(self, start: int, stop: int) -> np.ndarray:
         return start + np.flatnonzero(self.changed[start:stop])
 
+    def dense_active_in(self, start: int, stop: int) -> bool:
+        """Whether *every* vertex of [start, stop) is active."""
+        return bool(self.current[start:stop].all())
+
+    def dense_changed_in(self, start: int, stop: int) -> bool:
+        """Whether *every* vertex of [start, stop) changed."""
+        return bool(self.changed[start:stop].all())
+
+    # ------------------------------------------------------------------
+    # Plan-cache epochs (see repro.core.plans)
+    # ------------------------------------------------------------------
+    def _bump(self, epochs: np.ndarray, shard_ids=None) -> None:
+        with self._epoch_lock:
+            self._plan_epoch += 1
+            if shard_ids is None:
+                epochs[:] = self._plan_epoch
+            else:
+                epochs[shard_ids] = self._plan_epoch
+
+    def _shards_of(self, vids: np.ndarray) -> np.ndarray:
+        """Interval index containing each vid (skipping empty intervals).
+
+        ``vids`` must be sorted ascending (the update methods receive
+        phase row sets, which are). The common call marks rows of a
+        single shard, so first check whether the extremes land in the
+        same interval -- O(log P) -- before bucketing every vid.
+        """
+        ends = np.searchsorted(self._stops, vids[[0, -1]], side="right")
+        if ends[0] == ends[1]:
+            return ends[:1]
+        ids = np.searchsorted(self._stops, vids, side="right")
+        return ids[np.r_[True, ids[1:] != ids[:-1]]]
+
+    def invalidate_plans(self) -> None:
+        """Out-of-band mask mutation: force every cached plan stale.
+
+        Anything that writes ``current``/``changed`` directly instead of
+        going through the update methods below must call this before the
+        next phase runs with a plan cache attached.
+        """
+        self._bump(self.active_epochs)
+        self._bump(self.changed_epochs)
+
     # ------------------------------------------------------------------
     # Updates from the Compute Engine
     # ------------------------------------------------------------------
     def mark_changed(self, vids: np.ndarray) -> None:
         self.changed[vids] = True
+        if len(vids):
+            self._bump(self.changed_epochs, self._shards_of(vids))
         self.obs.add("frontier.changes", len(vids))
 
-    def activate_next(self, vids: np.ndarray) -> None:
-        """FrontierActivate: these vertices are active next iteration."""
+    def activate_next(self, vids: np.ndarray, count: int | None = None) -> None:
+        """FrontierActivate: these vertices are active next iteration.
+
+        ``next`` carries no epochs: it only ever becomes visible to plan
+        queries through :meth:`advance`, which bumps every interval.
+
+        ``count`` overrides the recorded activation total: the dense
+        fast path activates the *deduplicated* target set (``next[...] =
+        True`` is idempotent, so the mask is identical) but must report
+        the same per-out-edge activation count as the slow path.
+        """
         self.next[vids] = True
-        self.obs.add("frontier.activations", len(vids))
+        self.obs.add("frontier.activations", len(vids) if count is None else count)
+
+    def activate_next_mask(self, mask: np.ndarray, count: int) -> None:
+        """Mask-form FrontierActivate used by the dense fast path.
+
+        Sets ``next`` wherever a precomputed bool target mask is set --
+        identical to ``activate_next`` over the mask's set vids, one
+        vectorized masked store instead of one write per out-edge. A
+        masked store writes *only* the selected positions (no
+        read-modify-write of the rest), so it composes with concurrent
+        ``activate_next`` scatters from parallel shard compute exactly
+        like the vids form does. ``count`` is the per-out-edge
+        activation total the slow path would report.
+        """
+        self.next[mask] = True
+        self.obs.add("frontier.activations", count)
+
+    def activate_all(self) -> None:
+        """always_active programs: the whole vertex set is this
+        iteration's frontier."""
+        self.current[:] = True
+        self._bump(self.active_epochs)
 
     def advance(self) -> None:
         """BSP iteration boundary: promote next -> current."""
         self.current, self.next = self.next, self.current
         self.next[:] = False
         self.changed[:] = False
+        self._bump(self.active_epochs)
+        self._bump(self.changed_epochs)
         self.iteration += 1
         size = int(self.current.sum())
         self.history.append(size)
@@ -100,7 +203,7 @@ class FrontierManager:
 
         of the maximum lifetime frontier size (Figure 17's metric).
         """
-        sizes = [s for s in self.history if True]
+        sizes = self.history
         if not sizes:
             return 0.0
         peak = max(sizes)

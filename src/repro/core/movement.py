@@ -287,6 +287,7 @@ class DataMovementEngine:
         skipped: int,
         compute,  # Callable[[Shard], WorkItems]
         barrier: bool = True,
+        executor=None,
     ) -> None:
         """Stream the selected shards through the phase, then barrier.
 
@@ -294,14 +295,25 @@ class DataMovementEngine:
         within one phase are independent, so host-side order does not
         matter); the simulator accounts for when the transfers and the
         kernel would have executed.
+
+        With ``executor`` (a ThreadPoolExecutor) the NumPy work of all
+        shards runs concurrently -- the heavy kernels release the GIL --
+        but results are consumed in the original shard order, so the
+        simulated copies/kernels are issued in exactly the sequential
+        schedule and the device timeline stays bit-identical. The main
+        thread steals the first shard instead of idling on the pool.
         """
         self.stats.shards_skipped += skipped
         if skipped:
             self.obs.add("movement.shards.skipped", skipped)
+        results = None
+        if executor is not None and len(shards) > 1:
+            futures = [executor.submit(compute, shard) for shard in shards[1:]]
+            results = [compute(shards[0])] + [f.result() for f in futures]
         for i, shard in enumerate(shards):
             stream_i = i % self.k
             stream = self.streams[stream_i]
-            work = compute(shard)
+            work = results[i] if results is not None else compute(shard)
             with self.obs.span(
                 "shard",
                 category="shard",

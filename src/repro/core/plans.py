@@ -1,0 +1,374 @@
+"""Host-side gather/scatter plan cache and dense-frontier fast path.
+
+The Compute Engine's phases all start from the same expensive question:
+*which edges are incident to this shard's active (or changed) vertices,
+and in what segment layout?* The slow path answers it from scratch on
+every call -- ``flatnonzero`` over the mask, :func:`ragged_gather`, then
+O(E) fancy gathers of ``indices``/``edge_ids``/weights. This module
+memoizes those answers per shard as index *plans*, with two host-only
+optimizations (Gunrock-style frontier-density specialization, applied to
+our NumPy kernels):
+
+* **Dense fast path** -- when a mask covers a shard's whole interval
+  (the steady state of PageRank/SpMV and every ``always_active``
+  program), the plan is a function of topology alone: ``seg``/``starts``
+  come from :func:`~repro.graph.csr.dense_gather` and the per-edge
+  arrays are the shard's flat CSR/CSC arrays *by reference*, no fancy
+  gather at all. Dense plans are built once per shard and reused for the
+  rest of the run.
+* **Plan cache** -- sparse plans are keyed on a cheap frontier
+  fingerprint: :class:`~repro.core.frontier.FrontierManager` bumps a
+  per-(mask, interval) epoch on every mutation, so an epoch match proves
+  the cached plan fresh without touching the mask; on an epoch miss the
+  plan revalidates by comparing the recomputed row set (``array_equal``)
+  before falling back to a rebuild.
+
+Both paths are semantics-preserving and invisible to the simulated cost
+model: plans reproduce bit-identical index sets, in the same order, with
+the same dtypes as the slow path, and the WorkItems censuses that drive
+kernel cost count exactly the same edges/vertices. Mutable per-edge and
+per-vertex values are never cached -- plans hold *indices*, and the
+Compute Engine re-gathers values through them on every use. Callers must
+treat plan arrays as read-only: dense plans alias the shard's CSR/CSC
+storage.
+
+Hit/miss/invalidation totals are mirrored into the observability layer
+(``plans.hits`` / ``plans.misses`` / ``plans.invalidations``) and
+surfaced by ``repro profile``. Anything that mutates frontier masks
+without going through the FrontierManager update methods must call
+``FrontierManager.invalidate_plans()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.frontier import FrontierManager
+from repro.core.partition import Shard, ShardedGraph
+from repro.graph.csr import dense_gather, ragged_gather
+from repro.obs.span import NULL_OBSERVER
+
+
+@dataclass
+class GatherPlan:
+    """Index plan for one shard's gather phases (CSC, active rows)."""
+
+    #: global active vertex ids the plan was built from (None = dense)
+    rows: np.ndarray | None
+    #: source vertex per selected in-edge (vid dtype)
+    indices: np.ndarray
+    #: edge-list id per selected in-edge
+    eids: np.ndarray
+    #: weight per selected in-edge (None when the graph is unweighted)
+    weights: np.ndarray | None
+    #: destination vertex per selected in-edge (vid dtype, global)
+    row_ids: np.ndarray
+    #: segment starts into the per-edge arrays (one per destination
+    #: with at least one selected in-edge)
+    starts: np.ndarray
+    #: destination vertex per segment (int64, global)
+    verts: np.ndarray
+    n_edges: int
+    dense: bool
+    epoch: int
+
+
+@dataclass
+class OutPlan:
+    """Index plan over a shard's out-edges (CSR, changed rows)."""
+
+    rows: np.ndarray | None
+    #: out-neighbor per selected out-edge (vid dtype)
+    indices: np.ndarray
+    #: edge-list id per selected out-edge (None on a lite plan)
+    eids: np.ndarray | None
+    weights: np.ndarray | None
+    #: source vertex per selected out-edge (vid dtype, global; None on
+    #: a lite plan)
+    row_ids: np.ndarray | None
+    n_edges: int
+    dense: bool
+    epoch: int
+    #: frontier_activate only needs ``indices``; scatter needs the per-
+    #: edge identity/weight columns too. A full plan serves both.
+    full: bool
+    #: bool mask over the global vertex set with ``indices`` deduplicated
+    #: (dense plans only): ``next[...] = True`` is idempotent, so
+    #: frontier_activate may OR this mask in instead of issuing one
+    #: write per out-edge. None on sparse plans.
+    targets: np.ndarray | None = None
+
+
+def _build_gather_plan(shard: Shard, rows, dense: bool, epoch: int) -> GatherPlan:
+    csc = shard.csc
+    if dense:
+        seg, starts, verts_local = dense_gather(csc.indptr)
+        indices = csc.indices
+        eids = csc.edge_ids
+        weights = shard.csc_weights
+    else:
+        pos, seg = ragged_gather(csc.indptr, rows - shard.start)
+        indices = csc.indices[pos]
+        eids = csc.edge_ids[pos]
+        weights = None if shard.csc_weights is None else shard.csc_weights[pos]
+        if len(seg):
+            starts = np.flatnonzero(np.r_[True, seg[1:] != seg[:-1]])
+            verts_local = seg[starts]
+        else:
+            starts = np.empty(0, dtype=np.int64)
+            verts_local = np.empty(0, dtype=np.int64)
+    return GatherPlan(
+        rows=None if dense else rows,
+        indices=indices,
+        eids=eids,
+        weights=weights,
+        row_ids=(seg + shard.start).astype(csc.indices.dtype),
+        starts=starts,
+        verts=verts_local + shard.start,
+        n_edges=len(seg),
+        dense=dense,
+        epoch=epoch,
+    )
+
+
+def _build_out_plan(
+    shard: Shard, rows, dense: bool, epoch: int, full: bool, num_vertices: int = 0
+) -> OutPlan:
+    csr = shard.csr
+    targets = None
+    if dense:
+        seg, _starts, _verts = dense_gather(csr.indptr)
+        indices = csr.indices
+        eids = csr.edge_ids
+        weights = shard.csr_weights
+        targets = np.zeros(num_vertices, dtype=bool)
+        targets[csr.indices] = True
+    else:
+        pos, seg = ragged_gather(csr.indptr, rows - shard.start)
+        indices = csr.indices[pos]
+        eids = csr.edge_ids[pos] if full else None
+        weights = None
+        if full and shard.csr_weights is not None:
+            weights = shard.csr_weights[pos]
+    return OutPlan(
+        rows=None if dense else rows,
+        indices=indices,
+        eids=eids if full else None,
+        weights=weights if full else None,
+        row_ids=(seg + shard.start).astype(csr.indices.dtype) if full else None,
+        n_edges=len(seg),
+        dense=dense,
+        epoch=epoch,
+        full=full,
+        targets=targets,
+    )
+
+
+class _RowsEntry:
+    """Canonical row set of one (mask, shard) at a known epoch."""
+
+    __slots__ = ("rows", "epoch")
+
+    def __init__(self, rows, epoch: int):
+        self.rows = rows  # int64 global vids, or None for a dense interval
+        self.epoch = epoch
+
+
+class PlanCache:
+    """Per-shard index-plan memoization over one frontier's epochs.
+
+    ``dense``/``cache`` toggle the two fast paths independently; with
+    both off every query falls through to a fresh slow-path build, so a
+    disabled cache is an exact stand-in for the pre-plan Compute Engine
+    (multi-GPU and unit-test call sites rely on that default).
+
+    Thread safety: concurrent queries for *different* shards (the
+    parallel shard compute case) are safe -- per-shard state lives in
+    dict slots only one worker touches, and the shared counters are
+    guarded by a lock. Two concurrent queries for the same shard are
+    never issued by the runtime.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedGraph,
+        frontier: FrontierManager,
+        obs=None,
+        dense: bool = True,
+        cache: bool = True,
+    ):
+        self.sharded = sharded
+        self.frontier = frontier
+        self.obs = obs if obs is not None else NULL_OBSERVER
+        self.dense_enabled = dense
+        self.cache_enabled = cache
+        self._rows: dict[str, dict[int, _RowsEntry]] = {"active": {}, "changed": {}}
+        self._gather: dict[int, GatherPlan] = {}
+        self._out: dict[int, OutPlan] = {}
+        self._dense_gather: dict[int, GatherPlan] = {}
+        self._dense_out: dict[int, OutPlan] = {}
+        self._dense_vids: dict[int, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.dense_enabled or self.cache_enabled
+
+    def stats(self) -> dict:
+        with self._lock:
+            hits, misses, inv = self.hits, self.misses, self.invalidations
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "invalidations": inv,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    def _record(self, hit: bool, invalidated: bool = False) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+            if invalidated:
+                self.invalidations += 1
+        self.obs.add("plans.hits" if hit else "plans.misses")
+        if invalidated:
+            self.obs.add("plans.invalidations")
+
+    def _resolve_rows(self, shard: Shard, mask: str):
+        """(rows | None-if-dense, fresh) for the current mask contents.
+
+        ``fresh`` means the caller may keep using anything derived from
+        this exact rows object: either the interval's epoch still
+        matches the stored entry (no mutation since), or the recomputed
+        row set compared equal and the entry was revalidated in place.
+        """
+        fr = self.frontier
+        idx = shard.index
+        if mask == "active":
+            epoch = int(fr.active_epochs[idx])
+            dense_q, rows_q = fr.dense_active_in, fr.active_in
+        else:
+            epoch = int(fr.changed_epochs[idx])
+            dense_q, rows_q = fr.dense_changed_in, fr.changed_in
+        store = self._rows[mask]
+        entry = store.get(idx)
+        if entry is not None and entry.epoch == epoch:
+            return entry.rows, True
+        if self.dense_enabled and shard.num_interval_vertices and dense_q(
+            shard.start, shard.stop
+        ):
+            if entry is not None and entry.rows is None:
+                entry.epoch = epoch  # still dense: revalidate in place
+                return None, True
+            store[idx] = _RowsEntry(None, epoch)
+            return None, False
+        rows = rows_q(shard.start, shard.stop)
+        if (
+            entry is not None
+            and entry.rows is not None
+            and np.array_equal(entry.rows, rows)
+        ):
+            entry.epoch = epoch
+            return entry.rows, True
+        if self.cache_enabled:
+            store[idx] = _RowsEntry(rows, epoch)
+        return rows, False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def gather_plan(self, shard: Shard) -> GatherPlan:
+        """The in-edge plan for the shard's currently active rows."""
+        if not self.enabled:
+            rows = self.frontier.active_in(shard.start, shard.stop)
+            return _build_gather_plan(shard, rows, dense=False, epoch=0)
+        rows, fresh = self._resolve_rows(shard, "active")
+        epoch = int(self.frontier.active_epochs[shard.index])
+        if rows is None:  # dense: the plan is static per shard topology
+            plan = self._dense_gather.get(shard.index)
+            if plan is None:
+                plan = _build_gather_plan(shard, None, dense=True, epoch=epoch)
+                self._dense_gather[shard.index] = plan
+                self._record(hit=False)
+            else:
+                self._record(hit=True)
+            return plan
+        cached = self._gather.get(shard.index) if self.cache_enabled else None
+        if cached is not None and fresh and cached.rows is rows:
+            cached.epoch = epoch
+            self._record(hit=True)
+            return cached
+        plan = _build_gather_plan(shard, rows, dense=False, epoch=epoch)
+        if self.cache_enabled:
+            self._gather[shard.index] = plan
+        self._record(hit=False, invalidated=cached is not None)
+        return plan
+
+    def out_plan(self, shard: Shard, full: bool = False) -> OutPlan:
+        """The out-edge plan for the shard's currently changed rows.
+
+        ``full`` (scatter) adds the per-edge identity/weight columns; a
+        cached full plan also serves lite (frontier_activate) queries.
+        """
+        if not self.enabled:
+            rows = self.frontier.changed_in(shard.start, shard.stop)
+            return _build_out_plan(shard, rows, dense=False, epoch=0, full=full)
+        rows, fresh = self._resolve_rows(shard, "changed")
+        epoch = int(self.frontier.changed_epochs[shard.index])
+        if rows is None:
+            plan = self._dense_out.get(shard.index)
+            if plan is None or (full and not plan.full):
+                plan = _build_out_plan(
+                    shard, None, dense=True, epoch=epoch, full=full,
+                    num_vertices=self.sharded.num_vertices,
+                )
+                self._dense_out[shard.index] = plan
+                self._record(hit=False)
+            else:
+                self._record(hit=True)
+            return plan
+        cached = self._out.get(shard.index) if self.cache_enabled else None
+        if (
+            cached is not None
+            and fresh
+            and cached.rows is rows
+            and (cached.full or not full)
+        ):
+            cached.epoch = epoch
+            self._record(hit=True)
+            return cached
+        plan = _build_out_plan(shard, rows, dense=False, epoch=epoch, full=full)
+        if self.cache_enabled:
+            self._out[shard.index] = plan
+        self._record(hit=False, invalidated=cached is not None)
+        return plan
+
+    def active_rows(self, shard: Shard):
+        """(rows, dense) for the apply phase.
+
+        ``rows`` are the active global vids (the dense case returns a
+        cached per-shard ``arange``); ``dense`` tells the caller it may
+        use contiguous slices of the vertex-indexed buffers instead of
+        fancy gathers. Callers must not mutate ``rows``.
+        """
+        if not self.enabled:
+            return self.frontier.active_in(shard.start, shard.stop), False
+        rows, fresh = self._resolve_rows(shard, "active")
+        self._record(hit=fresh)
+        if rows is None:
+            vids = self._dense_vids.get(shard.index)
+            if vids is None:
+                vids = np.arange(shard.start, shard.stop, dtype=np.int64)
+                self._dense_vids[shard.index] = vids
+            return vids, True
+        return rows, False

@@ -31,6 +31,7 @@ from repro.core.frontier import FrontierManager
 from repro.core.fusion import PhaseGroup, build_async_plan, build_plan
 from repro.core.movement import DataMovementEngine, MovementConfig, MovementStats
 from repro.core.partition import PartitionEngine, ShardedGraph
+from repro.core.plans import PlanCache
 from repro.graph.edgelist import EdgeList
 from repro.obs.span import NULL_OBSERVER, Observer
 from repro.sim.device import GPUDevice
@@ -74,6 +75,17 @@ class GraphReduceOptions:
     #: an SSD pass before crossing PCIe.
     host_backing: str = "dram"
     max_iterations: int = 100_000
+    #: Host-side fast paths (see :mod:`repro.core.plans`). They change
+    #: only host wall-clock, never results or the simulated timeline:
+    #: ``dense_fast_path`` skips ragged/fancy gathers when a shard's
+    #: whole interval is active/changed; ``plan_cache`` memoizes sparse
+    #: index plans under frontier-epoch fingerprints; ``parallel_shards``
+    #: > 1 executes independent shards' phase work on that many threads
+    #: (NumPy releases the GIL), bsp mode only -- async sweeps are
+    #: Gauss-Seidel and order-dependent, so they stay sequential.
+    dense_fast_path: bool = True
+    plan_cache: bool = True
+    parallel_shards: int = 0
     trace: bool = True
     #: structured observability (hierarchical spans + typed counters,
     #: see :mod:`repro.obs`); when off the runtime uses the shared
@@ -165,6 +177,9 @@ class GraphReduceResult:
     #: copy engines and SM pool (None when options.trace is off); feeds
     #: the occupancy computation in :mod:`repro.obs.profile`
     engine_snapshots: dict | None = None
+    #: gather-plan cache totals (hits/misses/invalidations/hit_rate) of
+    #: the host fast paths; None when both fast paths were disabled
+    plan_cache: dict | None = None
 
     @property
     def memcpy_fraction(self) -> float:
@@ -296,7 +311,14 @@ class GraphReduce:
         frontier = FrontierManager(
             sharded, np.asarray(program.init_frontier(ctx), dtype=bool), obs=obs
         )
-        compute = ComputeEngine(sharded, program, ctx, frontier, obs=obs)
+        plans = PlanCache(
+            sharded,
+            frontier,
+            obs=obs,
+            dense=opts.dense_fast_path,
+            cache=opts.plan_cache,
+        )
+        compute = ComputeEngine(sharded, program, ctx, frontier, obs=obs, plans=plans)
         if opts.execution_mode == "async":
             plan = build_async_plan(program, obs=obs)
         elif opts.execution_mode == "bsp":
@@ -312,63 +334,79 @@ class GraphReduce:
         iteration = 0
         frontier_bytes = edges.num_vertices // 8 + 1
         iteration_stats: list[IterationStat] = []
-        while iteration < limit:
-            if program.always_active:
-                frontier.current[:] = True
-            if frontier.size == 0:
-                converged = True
-                break
-            if program.converged(ctx, iteration, frontier.size):
-                converged = True
-                break
-            frontier_size = frontier.size
-            t0 = sim.now
-            h2d0, d2h0 = movement.stats.h2d_bytes, movement.stats.d2h_bytes
-            proc0, skip0 = movement.stats.shards_processed, movement.stats.shards_skipped
-            compute.begin_iteration(iteration)
-            movement.current_iteration = iteration
-            with obs.span(
-                "iteration", category="iteration", index=iteration, frontier=frontier_size
-            ) as it_span:
-                for group in plan:
-                    shards, skipped = self._select_shards(group, sharded, frontier, opts)
-                    with obs.span(
-                        group.name,
-                        category="phase",
-                        selector=group.selector,
-                        shards=len(shards),
-                        skipped=skipped,
-                    ):
-                        movement.run_phase(
-                            group,
-                            shards,
-                            skipped,
-                            lambda shard, g=group: compute.run_group(
-                                g.phases, shard, count_full=not opts.frontier_skipping
-                            ),
-                        )
-                with obs.span("frontier", category="phase"):
-                    movement.iteration_sync(frontier_bytes)
-                it_span.set(
-                    h2d_bytes=movement.stats.h2d_bytes - h2d0,
-                    d2h_bytes=movement.stats.d2h_bytes - d2h0,
-                )
-            iteration_stats.append(
-                IterationStat(
-                    iteration=iteration,
-                    frontier_size=frontier_size,
-                    h2d_bytes=movement.stats.h2d_bytes - h2d0,
-                    d2h_bytes=movement.stats.d2h_bytes - d2h0,
-                    sim_seconds=sim.now - t0,
-                    shards_processed=movement.stats.shards_processed - proc0,
-                    shards_skipped=movement.stats.shards_skipped - skip0,
-                )
+        executor = None
+        if opts.parallel_shards > 1 and opts.execution_mode == "bsp":
+            # Shards of one phase are independent in bsp mode and the
+            # heavy NumPy kernels release the GIL; async sweeps are
+            # Gauss-Seidel (later shards read earlier shards' same-sweep
+            # writes) and must stay sequential.
+            from concurrent.futures import ThreadPoolExecutor
+
+            executor = ThreadPoolExecutor(
+                max_workers=opts.parallel_shards, thread_name_prefix="shard-compute"
             )
-            obs.add("runtime.iterations")
-            frontier.advance()
-            iteration += 1
-        else:
-            converged = frontier.size == 0
+        try:
+            while iteration < limit:
+                if program.always_active:
+                    frontier.activate_all()
+                if frontier.size == 0:
+                    converged = True
+                    break
+                if program.converged(ctx, iteration, frontier.size):
+                    converged = True
+                    break
+                frontier_size = frontier.size
+                t0 = sim.now
+                h2d0, d2h0 = movement.stats.h2d_bytes, movement.stats.d2h_bytes
+                proc0, skip0 = movement.stats.shards_processed, movement.stats.shards_skipped
+                compute.begin_iteration(iteration)
+                movement.current_iteration = iteration
+                with obs.span(
+                    "iteration", category="iteration", index=iteration, frontier=frontier_size
+                ) as it_span:
+                    for group in plan:
+                        shards, skipped = self._select_shards(group, sharded, frontier, opts)
+                        with obs.span(
+                            group.name,
+                            category="phase",
+                            selector=group.selector,
+                            shards=len(shards),
+                            skipped=skipped,
+                        ):
+                            movement.run_phase(
+                                group,
+                                shards,
+                                skipped,
+                                lambda shard, g=group: compute.run_group(
+                                    g.phases, shard, count_full=not opts.frontier_skipping
+                                ),
+                                executor=executor,
+                            )
+                    with obs.span("frontier", category="phase"):
+                        movement.iteration_sync(frontier_bytes)
+                    it_span.set(
+                        h2d_bytes=movement.stats.h2d_bytes - h2d0,
+                        d2h_bytes=movement.stats.d2h_bytes - d2h0,
+                    )
+                iteration_stats.append(
+                    IterationStat(
+                        iteration=iteration,
+                        frontier_size=frontier_size,
+                        h2d_bytes=movement.stats.h2d_bytes - h2d0,
+                        d2h_bytes=movement.stats.d2h_bytes - d2h0,
+                        sim_seconds=sim.now - t0,
+                        shards_processed=movement.stats.shards_processed - proc0,
+                        shards_skipped=movement.stats.shards_skipped - skip0,
+                    )
+                )
+                obs.add("runtime.iterations")
+                frontier.advance()
+                iteration += 1
+            else:
+                converged = frontier.size == 0
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
 
         run_span.set(iterations=iteration, converged=converged)
         run_span_cm.__exit__(None, None, None)
@@ -396,6 +434,7 @@ class GraphReduce:
             iteration_stats=iteration_stats,
             observer=obs if opts.observe else None,
             engine_snapshots=engine_snapshots,
+            plan_cache=plans.stats() if plans.enabled else None,
         )
 
     # ------------------------------------------------------------------

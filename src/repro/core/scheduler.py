@@ -31,7 +31,7 @@ from repro.core.api import GASProgram
 from repro.core.fusion import build_plan
 from repro.core.partition import PartitionEngine
 from repro.core.runtime import GraphReduce, GraphReduceOptions, RuntimeContext
-from repro.graph.csr import build_csc, build_csr, ragged_gather
+from repro.graph.csr import build_csc, build_csr, dense_gather, ragged_gather, segment_reduce
 from repro.graph.edgelist import EdgeList
 from repro.obs.span import NULL_OBSERVER, Observer
 from repro.sim.specs import HostSpec, MachineSpec, default_machine
@@ -126,6 +126,11 @@ class AdaptiveEngine:
         edge_state = program.init_edge_state(ctx)
 
         placement: list[str] = []
+        # Dense-frontier fast path (host-only, same trick as
+        # repro.core.plans): when every vertex is active/changed the
+        # edge enumeration is a function of topology alone, built once.
+        dense_in = None  # (seg, starts, rows_with_edges) over the CSC
+        dense_out_seg = None  # per-edge source row over the CSR
         gpu_time = cpu_time = switch_time = 0.0
         side = "gpu"  # vertex state starts on the device
         switches = 0
@@ -187,31 +192,52 @@ class AdaptiveEngine:
             gathered = np.full(len(active), program.gather_identity, dtype=program.gather_dtype)
             has = np.zeros(len(active), dtype=bool)
             if program.has_gather:
-                pos, seg = ragged_gather(csc.indptr, active)
-                if len(pos):
-                    src = csc.indices[pos]
-                    w = None if csc_w is None else csc_w[pos]
-                    st = None if edge_state is None else edge_state[csc.edge_ids[pos]]
+                if len(active) == n:
+                    if dense_in is None:
+                        dense_in = dense_gather(csc.indptr)
+                    seg, starts, seg_verts = dense_in
+                    n_sel = len(seg)
+                    src = csc.indices
+                    w = csc_w
+                    st = None if edge_state is None else edge_state[csc.edge_ids]
+                else:
+                    pos, seg = ragged_gather(csc.indptr, active)
+                    n_sel = len(pos)
+                    if n_sel:
+                        src = csc.indices[pos]
+                        w = None if csc_w is None else csc_w[pos]
+                        st = None if edge_state is None else edge_state[csc.edge_ids[pos]]
+                        starts = np.flatnonzero(np.r_[True, seg[1:] != seg[:-1]])
+                        seg_verts = seg[starts]
+                if n_sel:
                     contrib = program.gather_map(ctx, src, seg.astype(src.dtype), values[src], w, st)
-                    starts = np.flatnonzero(np.r_[True, seg[1:] != seg[:-1]])
-                    red = program.gather_reduce.reduceat(contrib, starts)
-                    slot = np.searchsorted(active, seg[starts])
+                    red = segment_reduce(program.gather_reduce, contrib, starts)
+                    slot = np.searchsorted(active, seg_verts)
                     gathered[slot] = red.astype(program.gather_dtype, copy=False)
                     has[slot] = True
             new_vals, changed = program.apply(ctx, active, values[active], gathered, has, iteration)
             changed = np.asarray(changed, dtype=bool)
             values[active] = np.asarray(new_vals).astype(program.vertex_dtype, copy=False)
             changed_ids = active[changed]
-            pos, seg = ragged_gather(csr.indptr, changed_ids)
-            if program.has_scatter and len(pos):
-                eids = csr.edge_ids[pos]
-                w = None if csr_w is None else csr_w[pos]
+            if len(changed_ids) == n:
+                if dense_out_seg is None:
+                    dense_out_seg = dense_gather(csr.indptr)[0]
+                seg = dense_out_seg
+                out_indices = csr.indices
+                eids = csr.edge_ids
+                w = csr_w
+            else:
+                pos, seg = ragged_gather(csr.indptr, changed_ids)
+                out_indices = csr.indices[pos]
+                eids = csr.edge_ids[pos] if program.has_scatter and len(pos) else None
+                w = None if csr_w is None or eids is None else csr_w[pos]
+            if program.has_scatter and len(seg):
                 st = None if edge_state is None else edge_state[eids]
                 out = program.scatter(ctx, seg.astype(np.int32), values[seg], w, st)
                 if edge_state is not None:
                     edge_state[eids] = out
             frontier = np.zeros(n, dtype=bool)
-            frontier[csr.indices[pos]] = True
+            frontier[out_indices] = True
             iteration += 1
         else:
             converged = frontier.sum() == 0

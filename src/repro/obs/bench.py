@@ -30,6 +30,9 @@ SNAPSHOT_VERSION = 1
 #: Default committed snapshot, relative to a repo checkout.
 DEFAULT_SNAPSHOT = Path("benchmarks") / "BENCH_baseline.json"
 
+#: Committed host fast-path wall-clock snapshot (``repro bench-wallclock``).
+DEFAULT_WALLCLOCK_SNAPSHOT = Path("benchmarks") / "BENCH_wallclock.json"
+
 
 def _suite_cases() -> dict[str, Callable]:
     """name -> zero-arg callable returning (edges, program, options).
@@ -86,6 +89,137 @@ def run_suite(names: list[str] | None = None) -> dict:
         result = GraphReduce(edges, options=options).run(program)
         out[name] = measure(result)
     return out
+
+
+# ----------------------------------------------------------------------
+# Host fast-path wall-clock suite (``repro bench-wallclock``)
+# ----------------------------------------------------------------------
+
+
+def _wallclock_cases() -> dict[str, dict]:
+    """name -> {"make", "min_speedup"} for the host fast-path harness.
+
+    ``make()`` returns ``(edges, program_factory, fast_opts, slow_opts)``
+    where the two option sets differ only in the host fast paths (dense
+    plans + plan cache + parallel shard compute on vs all off), so the
+    simulated device timeline is identical by construction and the
+    wall-clock ratio isolates the host-side win.
+
+    The PageRank case is the classic fixed-iteration power formulation
+    (``tolerance=None``): every vertex active and changed each round, so
+    dense plans are built once and reused -- the workload the fast paths
+    target. BFS's frontier changes every iteration, so no plan is ever
+    reusable; its case documents that the fast-path bookkeeping does not
+    meaningfully slow the workloads that cannot benefit (min_speedup is
+    a pathology guard, not a win claim).
+    """
+    from repro.algorithms import BFS, PageRank
+    from repro.core.runtime import GraphReduceOptions
+
+    common = dict(cache_policy="never", num_partitions=4, observe=False, trace=False)
+    fast = GraphReduceOptions(**common, parallel_shards=4)
+    slow = GraphReduceOptions(**common, dense_fast_path=False, plan_cache=False)
+    metrics = GraphReduceOptions(cache_policy="never", num_partitions=4, parallel_shards=4)
+
+    def graph():
+        from repro.graph.generators import erdos_renyi
+
+        return erdos_renyi(65_536, 1_000_000, seed=7, name="er-wallclock")
+
+    return {
+        "pagerank_wallclock": {
+            "make": lambda: (
+                graph(),
+                lambda: PageRank(tolerance=None, max_iterations=25),
+                fast,
+                slow,
+                metrics,
+            ),
+            "min_speedup": 2.0,
+        },
+        "bfs_wallclock": {
+            "make": lambda: (graph(), lambda: BFS(source=0), fast, slow, metrics),
+            "min_speedup": 0.6,
+        },
+    }
+
+
+def run_wallclock_suite(repeats: int = 3) -> dict:
+    """Measure the host fast paths; returns ``{name: measurement}``.
+
+    Each case runs twice per repeat -- fast paths on and off,
+    interleaved so machine drift cancels out of the ratio -- after one
+    warm-up pass per side, and keeps the best wall time of each side.
+    Both sides must produce bit-identical ``vertex_values`` and
+    simulated time (the fast paths are semantics-preserving by
+    contract; the harness enforces it). A final traced pass with the
+    fast configuration records the deterministic device metrics, which
+    ``repro bench-check`` gates like any other snapshot.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.runtime import GraphReduce
+
+    out = {}
+    for name, case in sorted(_wallclock_cases().items()):
+        edges, make_program, fast_opts, slow_opts, metrics_opts = case["make"]()
+        engines = {
+            "fast": GraphReduce(edges, options=fast_opts),
+            "slow": GraphReduce(edges, options=slow_opts),
+        }
+        results: dict = {}
+        times: dict[str, list[float]] = {"fast": [], "slow": []}
+        for key, eng in engines.items():
+            eng.run(make_program())  # warm-up (allocator, caches, JIT-free)
+        for _ in range(max(1, repeats)):
+            for key, eng in engines.items():
+                t0 = time.perf_counter()
+                results[key] = eng.run(make_program())
+                times[key].append(time.perf_counter() - t0)
+        fast_r, slow_r = results["fast"], results["slow"]
+        if not np.array_equal(fast_r.vertex_values, slow_r.vertex_values):
+            raise AssertionError(f"{name}: fast/slow paths disagree on vertex values")
+        if fast_r.sim_time != slow_r.sim_time:
+            raise AssertionError(
+                f"{name}: fast paths perturbed the simulated timeline "
+                f"({fast_r.sim_time} vs {slow_r.sim_time})"
+            )
+        if fast_r.frontier_history != slow_r.frontier_history:
+            raise AssertionError(f"{name}: fast/slow paths disagree on frontier history")
+        metrics_r = GraphReduce(edges, options=metrics_opts).run(make_program())
+        if metrics_r.sim_time != slow_r.sim_time:
+            raise AssertionError(f"{name}: traced metrics run diverged from timed runs")
+        m = measure(metrics_r)
+        best_fast, best_slow = min(times["fast"]), min(times["slow"])
+        m.update(
+            wall_seconds_fast=best_fast,
+            wall_seconds_slow=best_slow,
+            speedup=best_slow / best_fast,
+            min_speedup=case["min_speedup"],
+            plan_cache=metrics_r.plan_cache,
+        )
+        out[name] = m
+    return out
+
+
+def check_wallclock(baseline: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE):
+    """Gate a fresh wall-clock run against the committed snapshot.
+
+    Returns ``(regressions, failures)``: deterministic sim-metric
+    regressions via :func:`compare` (wall-clock fields are machine-
+    dependent and never compared across machines), plus cases whose
+    *fresh, same-machine* speedup fell below their ``min_speedup``
+    floor.
+    """
+    regressions = compare(baseline, fresh, tolerance=tolerance)
+    failures = [
+        (name, m["speedup"], m["min_speedup"])
+        for name, m in sorted(fresh.items())
+        if m.get("min_speedup") and m["speedup"] < m["min_speedup"]
+    ]
+    return regressions, failures
 
 
 @dataclass(frozen=True)
@@ -194,9 +328,20 @@ def metric_table(doc: dict) -> dict[str, dict[str, float]]:
     if "benchmarks" in doc:
         out = {}
         for name, m in doc["benchmarks"].items():
+            # Wall-clock fields (bench-wallclock snapshots) surface as
+            # informational rows: not in _HIGHER_IS_WORSE, so growth in
+            # a machine-dependent timing never fails a diff.
             row = {
                 k: float(m[k])
-                for k in ("sim_time", "memcpy_time", "kernel_time", "iterations")
+                for k in (
+                    "sim_time",
+                    "memcpy_time",
+                    "kernel_time",
+                    "iterations",
+                    "wall_seconds_fast",
+                    "wall_seconds_slow",
+                    "speedup",
+                )
                 if k in m
             }
             for ph, v in m.get("phases", {}).items():

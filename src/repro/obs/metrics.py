@@ -9,6 +9,7 @@ two buckets so the summary stays O(64) regardless of run length.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 
@@ -112,11 +113,17 @@ class MetricsRegistry:
 
     ``add``/``observe`` create the instrument on first use, so call
     sites do not need registration boilerplate.
+
+    ``add`` and ``observe`` are thread-safe: the parallel shard compute
+    path records counters from worker threads, and the ``+=`` updates
+    inside the instruments are not atomic. Everything else (reads,
+    merge, snapshot) runs on the main thread between phases.
     """
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
@@ -131,10 +138,12 @@ class MetricsRegistry:
         return h
 
     def add(self, name: str, n: float = 1.0) -> None:
-        self.counter(name).add(n)
+        with self._lock:
+            self.counter(name).add(n)
 
     def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+        with self._lock:
+            self.histogram(name).observe(value)
 
     def value(self, name: str, default: float = 0.0) -> float:
         c = self.counters.get(name)

@@ -236,6 +236,8 @@ class ProfileReport:
     counters: dict
     verdict: Verdict
     validation: list[ModelCheck]
+    #: gather-plan cache totals of the host fast paths (repro.core.plans)
+    plan_cache: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -254,6 +256,7 @@ class ProfileReport:
             "frontier": self.frontier.to_dict(),
             "phases": self.phases,
             "counters": self.counters,
+            "plan_cache": self.plan_cache,
             "verdict": self.verdict.to_dict(),
             "model_validation": [c.to_dict() for c in self.validation],
         }
@@ -284,6 +287,7 @@ class ProfileReport:
             f"{self.frontier.shards_processed + self.frontier.shards_skipped} shard-"
             f"phases skipped ({100 * self.frontier.skip_rate:.1f}%), "
             f"~{self.frontier.est_bytes_saved / 2**20:.2f} MiB of PCIe avoided",
+            self._plan_cache_line(),
             "",
             f"bottleneck         : {self.verdict.bottleneck} "
             f"({100 * self.verdict.share:.0f}% of makespan)",
@@ -308,6 +312,17 @@ class ProfileReport:
                     f"{s.name:14s} {s.busy_seconds:12.6f} {s.transfers:7d} {s.kernels:8d}"
                 )
         return "\n".join(lines)
+
+    def _plan_cache_line(self) -> str:
+        pc = self.plan_cache
+        queries = pc.get("hits", 0) + pc.get("misses", 0)
+        if not queries:
+            return "plan cache         : disabled (no plan queries recorded)"
+        return (
+            f"plan cache         : {pc['hits']}/{queries} hits "
+            f"({100 * pc.get('hit_rate', 0.0):.1f}%), "
+            f"{pc.get('invalidations', 0)} invalidations (host fast paths)"
+        )
 
     @property
     def validation_ok(self) -> bool:
@@ -467,6 +482,18 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
     )
     validation = validate_cost_model(result, machine=machine, tolerance=tolerance)
 
+    # -- host plan cache (repro.core.plans) ----------------------------
+    plan_cache = getattr(result, "plan_cache", None)
+    if plan_cache is None:
+        hits = metrics.value("plans.hits")
+        misses = metrics.value("plans.misses")
+        plan_cache = {
+            "hits": int(hits),
+            "misses": int(misses),
+            "invalidations": int(metrics.value("plans.invalidations")),
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        }
+
     run_attrs: dict = {}
     for sp in obs.find(category="run"):
         run_attrs = sp.attrs
@@ -488,6 +515,7 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
         counters={n: c.value for n, c in sorted(metrics.counters.items())},
         verdict=verdict,
         validation=validation,
+        plan_cache=plan_cache,
     )
 
 
