@@ -4,6 +4,8 @@
     python -m repro info
     python -m repro run --graph orkut --algorithm bfs
     python -m repro run --graph path/to/edges.txt --algorithm pagerank
+    python -m repro partition edges.npz --out store/ --partitions 8
+    python -m repro run --shard-store store/ --algorithm pagerank --memory-budget 8000000
     python -m repro compare --graph kron_g500-logn21 --algorithm bfs
     python -m repro trace --algo pagerank --out trace.json
     python -m repro profile --algo pagerank --out profile.json
@@ -27,6 +29,12 @@ recorded simulated metrics and the per-case speedup floors; and
 bench or profile snapshots. Graphs
 are either Table-1 dataset names or paths to edge-list / ``.npz`` /
 MatrixMarket files.
+
+``partition`` builds an on-disk shard store (streaming two-pass
+external partitioner for ``.txt``/``.npz`` inputs -- the full edge set
+never resides in RAM); ``run`` and ``profile`` then execute straight
+from the store with ``--shard-store``, memory-mapping shards behind the
+host prefetch pipeline, optionally capped by ``--memory-budget``.
 """
 
 from __future__ import annotations
@@ -133,8 +141,37 @@ def cmd_info(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
+def _make_engine(args, opts) -> tuple:
+    """(engine, printable-graph) for the in-RAM or ``--shard-store`` path.
+
+    Store runs use the graph exactly as stored -- ``prepare``'s
+    symmetrize/random-weight conveniences apply only to in-RAM inputs
+    (an unweighted store running SSSP gets unit weights).
+    """
+    if getattr(args, "shard_store", None):
+        from repro.core.shardstore import ShardStore
+
+        store = ShardStore.open(args.shard_store)
+        return GraphReduce(shard_store=store, options=opts), store.edgelist()
+    if not args.graph:
+        raise SystemExit("error: provide --graph or --shard-store")
     graph = prepare(load_graph(args.graph), args)
+    return GraphReduce(graph, options=opts), graph
+
+
+def _print_prefetch(result) -> None:
+    pf = result.prefetch
+    if not pf:
+        return
+    acquired = pf["hits"] + pf["waits"] + pf["faults"]
+    print(f"prefetch   : {pf['hits']}/{acquired} warm, {pf['waits']} waits "
+          f"({pf['wait_seconds']:.3f} s), {pf['faults']} faults, "
+          f"{pf['evictions']} evictions, "
+          f"{pf['bytes_loaded'] / 2**20:.2f} MiB faulted in "
+          f"(cache capacity {pf['capacity']})")
+
+
+def cmd_run(args) -> int:
     program = ALGORITHMS[args.algorithm](args)
     opts = (
         GraphReduceOptions.unoptimized()
@@ -144,10 +181,12 @@ def cmd_run(args) -> int:
             cache_policy=args.cache_policy,
             host_backing=args.host_backing,
             execution_mode=args.execution_mode,
+            memory_budget=args.memory_budget,
             **_fastpath_options(args),
         )
     )
-    result = GraphReduce(graph, options=opts).run(program, max_iterations=args.max_iterations)
+    engine, graph = _make_engine(args, opts)
+    result = engine.run(program, max_iterations=args.max_iterations)
     vals = result.vertex_values
     print(f"graph      : {graph}")
     print(f"algorithm  : {program.name}")
@@ -165,6 +204,7 @@ def cmd_run(args) -> int:
         queries = pc["hits"] + pc["misses"]
         print(f"plan cache : {pc['hits']}/{queries} hits "
               f"({100 * pc['hit_rate']:.1f}%), {pc['invalidations']} invalidations")
+    _print_prefetch(result)
     finite = vals[np.isfinite(vals)]
     if len(finite):
         print(f"values     : min {finite.min():.4g}, max {finite.max():.4g}, "
@@ -205,7 +245,6 @@ def cmd_profile(args) -> int:
     from repro.obs.export import write_chrome_trace
     from repro.obs.profile import build_profile, write_profile
 
-    graph = prepare(load_graph(args.graph), args)
     program = ALGORITHMS[args.algorithm](args)
     opts = (
         GraphReduceOptions.unoptimized()
@@ -213,10 +252,12 @@ def cmd_profile(args) -> int:
         else GraphReduceOptions(
             num_partitions=args.partitions,
             cache_policy=args.cache_policy,
+            memory_budget=args.memory_budget,
             **_fastpath_options(args),
         )
     )
-    result = GraphReduce(graph, options=opts).run(program, max_iterations=args.max_iterations)
+    engine, _graph = _make_engine(args, opts)
+    result = engine.run(program, max_iterations=args.max_iterations)
     report = build_profile(result)
     print(report.to_text())
     path = write_profile(args.out, report)
@@ -238,6 +279,41 @@ def cmd_profile(args) -> int:
     if not report.validation_ok:
         print("error: cost-model validation failed (see table above)", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_partition(args) -> int:
+    from repro.core.shardstore import ShardStore, build_store_streaming
+
+    out = Path(args.out)
+    path = Path(args.input)
+    if args.input in DATASETS or path.suffix in (".mtx", ".mm"):
+        # No streaming reader for datasets / MatrixMarket: partition in
+        # RAM (they fit by construction) and serialize the result.
+        from repro.core.partition import PartitionEngine
+
+        edges = load_graph(args.input)
+        store = ShardStore.save(
+            PartitionEngine().partition(edges, args.partitions), out
+        )
+    elif path.exists():
+        store = build_store_streaming(
+            path,
+            out,
+            args.partitions,
+            chunk_edges=args.chunk_edges,
+            num_vertices=args.num_vertices,
+            name=args.name,
+        )
+    else:
+        raise SystemExit(
+            f"error: {args.input!r} is neither a dataset "
+            f"({', '.join(sorted(DATASETS))}) nor an existing file"
+        )
+    print(f"wrote {store.path}: {store.num_partitions} shards, "
+          f"V={store.num_vertices}, E={store.num_edges}, "
+          f"{'weighted' if store.weighted else 'unweighted'}, "
+          f"{store.disk_bytes() / 2**20:.2f} MiB on disk")
     return 0
 
 
@@ -347,13 +423,22 @@ def cmd_bench_check(args) -> int:
 def cmd_bench_wallclock(args) -> int:
     from repro.obs import bench
 
-    fresh = bench.run_wallclock_suite(repeats=args.repeats)
+    fresh = bench.run_wallclock_suite(
+        repeats=args.repeats,
+        shard_store=args.shard_store,
+        memory_budget=args.memory_budget,
+    )
     for name, m in sorted(fresh.items()):
         pc = m.get("plan_cache") or {}
         print(f"{name:22s} fast {m['wall_seconds_fast'] * 1e3:8.1f} ms  "
               f"slow {m['wall_seconds_slow'] * 1e3:8.1f} ms  "
               f"speedup {m['speedup']:5.2f}x (floor {m['min_speedup']:.1f}x)  "
               f"plan hits {100 * pc.get('hit_rate', 0.0):5.1f}%")
+        probe = m.get("ooc_probe")
+        if probe:
+            print(f"{'':22s} ooc probe: peak RSS +"
+                  f"{probe['rss_delta_bytes'] / 2**20:.1f} MiB "
+                  f"(in-RAM footprint {m['in_ram_bytes'] / 2**20:.1f} MiB)")
     if args.out:
         bench.save_snapshot(args.out, fresh)
         print(f"wrote {args.out}")
@@ -428,6 +513,19 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _add_store_args(p) -> None:
+    p.add_argument(
+        "--shard-store", default=None,
+        help="run out-of-core from this shard-store directory "
+             "(see `repro partition`); --graph is then ignored",
+    )
+    p.add_argument(
+        "--memory-budget", type=int, default=None,
+        help="host RAM budget (bytes) for the out-of-core shard cache; "
+             "sets the resident-set size via the Eq. (1)/(2) formula",
+    )
+
+
 def _add_fastpath_args(p) -> None:
     p.add_argument("--no-dense-path", action="store_true",
                    help="disable the dense-frontier host fast path")
@@ -451,7 +549,10 @@ def build_parser() -> argparse.ArgumentParser:
         ("compare", "run GraphReduce and every baseline framework"),
     ):
         p = sub.add_parser(name, help=help_text)
-        p.add_argument("--graph", required=True, help="dataset name or graph file")
+        p.add_argument(
+            "--graph", required=(name == "compare"),
+            help="dataset name or graph file",
+        )
         p.add_argument("--algorithm", required=True, choices=sorted(ALGORITHMS))
         p.add_argument("--source", type=int, default=0, help="BFS/SSSP source vertex")
         p.add_argument("--tolerance", type=float, default=1e-3, help="PageRank tolerance")
@@ -472,6 +573,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution-mode", choices=("bsp", "async"), default="bsp",
         help="bulk-synchronous phases (paper) or asynchronous sweeps",
     )
+    _add_store_args(run_p)
+
+    part_p = sub.add_parser(
+        "partition", help="build an on-disk shard store from a graph"
+    )
+    part_p.add_argument("input", help="dataset name or graph file (.txt/.npz/.mtx)")
+    part_p.add_argument("--out", required=True, help="store directory to create")
+    part_p.add_argument("--partitions", type=int, default=8,
+                        help="shard count (default 8)")
+    part_p.add_argument(
+        "--chunk-edges", type=int, default=1 << 20,
+        help="edges per streaming chunk for .txt/.npz ingestion",
+    )
+    part_p.add_argument(
+        "--num-vertices", type=int, default=None,
+        help="vertex-count override (text inputs carry no vertex count)",
+    )
+    part_p.add_argument("--name", default=None,
+                        help="graph name recorded in the manifest")
 
     trace_p = sub.add_parser(
         "trace", help="run one algorithm and write a Chrome trace_event JSON"
@@ -519,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--k", type=int, default=3)
     prof_p.add_argument("--power-iterations", type=int, default=25)
     prof_p.add_argument("--max-iterations", type=int, default=100_000)
+    _add_store_args(prof_p)
 
     diff_p = sub.add_parser(
         "bench-diff",
@@ -574,6 +695,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the fresh measurements here (CI artifact)")
     wall_p.add_argument("--update", action="store_true",
                         help="rewrite the snapshot from this run's measurements")
+    wall_p.add_argument(
+        "--shard-store", default=None,
+        help="reuse this store for the out-of-core scenario instead of "
+             "building a temporary one",
+    )
+    wall_p.add_argument(
+        "--memory-budget", type=int, default=None,
+        help="shard-cache budget (bytes) for the out-of-core scenario's "
+             "warm configuration and RSS probe",
+    )
     return parser
 
 
@@ -583,6 +714,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": cmd_datasets,
         "info": cmd_info,
         "run": cmd_run,
+        "partition": cmd_partition,
         "compare": cmd_compare,
         "trace": cmd_trace,
         "profile": cmd_profile,

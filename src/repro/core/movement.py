@@ -24,6 +24,8 @@ with synchronous full-shard copies -- the Figure 15 baseline.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -86,6 +88,209 @@ def optimal_concurrent_shards(
         return min(num_partitions, hardware_limit) or 1
     k = avail // per_slot
     return int(max(1, min(k, num_partitions, hardware_limit)))
+
+
+class HostPrefetcher:
+    """Asynchronous disk-to-RAM shard staging for out-of-core runs.
+
+    The host-side mirror of this module's device streaming: shards live
+    in an on-disk :class:`~repro.core.shardstore.ShardStore` and fault
+    into RAM through an LRU cache whose capacity comes from the same
+    Eq. (1)/(2) resident-set formula, applied to a *host* memory budget
+    instead of device memory. A small thread pool keeps the next shards
+    of the runtime's schedule warm (pages touched, CSR views built)
+    while the current shard computes -- double buffering against disk.
+
+    Frontier awareness falls out of the integration point: the runtime
+    calls :meth:`schedule` with exactly the shards the FrontierManager
+    selected for the phase, so skipped shards are neither prefetched nor
+    faulted in -- the paper's shard-skip optimization applied to I/O.
+
+    Everything here is wall-clock only and invisible to the simulated
+    timeline (counters + the ``lane`` intervals are observability).
+    Thread safety: all mutable state is guarded by one lock; loads run
+    outside it. ``on_evict`` (the runtime hooks the PlanCache's
+    ``drop_shard``) is called under the lock and must not call back in.
+    """
+
+    def __init__(self, store, capacity: int, workers: int = 2, obs=None, unit_weights: bool = False):
+        self.store = store
+        self.capacity = max(1, int(capacity))
+        self.workers = max(0, int(workers))
+        self.obs = obs if obs is not None else NULL_OBSERVER
+        self.unit_weights = unit_weights
+        #: eviction hook: called with the shard index being dropped
+        self.on_evict = None
+        self.hits = 0
+        self.waits = 0
+        self.faults = 0
+        self.evictions = 0
+        self.prefetched = 0
+        self.bytes_loaded = 0
+        self.wait_seconds = 0.0
+        #: wall-clock activity intervals: (kind, shard, t0, t1) seconds
+        #: relative to construction; feeds the Chrome-trace host lane
+        self.lane: list[tuple] = []
+        self._cache: "OrderedDict[int, object]" = OrderedDict()
+        self._futures: dict[int, object] = {}
+        self._order: list[int] = []
+        self._pos: dict[int, int] = {}
+        self._cursor = 0
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._pool = None
+        if self.workers > 0:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="shard-prefetch"
+            )
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, shard_ids) -> None:
+        """Set the phase's shard order and start warming ahead."""
+        with self._lock:
+            self._order = list(shard_ids)
+            self._pos = {idx: i for i, idx in enumerate(self._order)}
+            self._cursor = 0
+            self._top_up()
+
+    def _top_up(self) -> None:
+        """(lock held) Submit loads so cache + in-flight covers the next
+        ``capacity - 1`` scheduled shards (one slot stays for the shard
+        currently computing)."""
+        if self._pool is None or self.capacity < 2:
+            return
+        ahead, j = 0, self._cursor
+        while j < len(self._order) and ahead < self.capacity - 1:
+            idx = self._order[j]
+            if idx not in self._cache and idx not in self._futures:
+                self._futures[idx] = self._pool.submit(self._load_async, idx)
+            ahead += 1
+            j += 1
+
+    def _load_async(self, index: int):
+        t0 = time.perf_counter()
+        arrays = self.store.load_arrays(index, unit_weights=self.unit_weights)
+        self._warm(arrays)
+        t1 = time.perf_counter()
+        with self._lock:
+            self._futures.pop(index, None)
+            self._insert(index, arrays)
+            self.prefetched += 1
+            self.bytes_loaded += arrays.nbytes
+            self.lane.append(("prefetch", index, t0 - self._t0, t1 - self._t0))
+        self.obs.add("prefetch.prefetched")
+        self.obs.add("prefetch.bytes", arrays.nbytes)
+        return arrays
+
+    @staticmethod
+    def _warm(arrays) -> None:
+        """Fault the mapped pages in (one touch per page)."""
+        for a in (
+            arrays.csc.indptr, arrays.csc.indices, arrays.csc.edge_ids,
+            arrays.csr.indptr, arrays.csr.indices, arrays.csr.edge_ids,
+            arrays.csc_weights, arrays.csr_weights,
+        ):
+            if a is not None and len(a):
+                a[:: max(1, 4096 // a.itemsize)].max()
+
+    # -- acquisition ---------------------------------------------------
+    def get(self, index: int):
+        """Acquire one shard's arrays for compute (counts hit/wait/fault).
+
+        Called once per (shard, phase) by the runtime's compute wrapper,
+        possibly from worker threads under parallel shard compute.
+        """
+        t0 = time.perf_counter()
+        with self._lock:
+            self._advance(index)
+            arrays = self._cache.get(index)
+            if arrays is not None:
+                self._cache.move_to_end(index)
+                self.hits += 1
+                self._top_up()
+                self.obs.add("prefetch.hits")
+                return arrays
+            fut = self._futures.get(index)
+        if fut is not None:
+            arrays = fut.result()  # _load_async inserts into the cache
+            t1 = time.perf_counter()
+            with self._lock:
+                self.waits += 1
+                self.wait_seconds += t1 - t0
+                self.lane.append(("wait", index, t0 - self._t0, t1 - self._t0))
+                self._top_up()
+            self.obs.add("prefetch.waits")
+            self.obs.observe("prefetch.wait_seconds", t1 - t0)
+            return arrays
+        arrays = self.store.load_arrays(index, unit_weights=self.unit_weights)
+        t1 = time.perf_counter()
+        with self._lock:
+            self.faults += 1
+            self.bytes_loaded += arrays.nbytes
+            self.lane.append(("fault", index, t0 - self._t0, t1 - self._t0))
+            self._insert(index, arrays)
+            self._top_up()
+        self.obs.add("prefetch.faults")
+        self.obs.add("prefetch.bytes", arrays.nbytes)
+        return arrays
+
+    def arrays(self, index: int):
+        """Uncounted access for lazy-shard properties: serve from cache,
+        fall back to a counted :meth:`get` if the shard was evicted
+        between acquisition and use."""
+        with self._lock:
+            got = self._cache.get(index)
+            if got is not None:
+                return got
+        return self.get(index)
+
+    def _advance(self, index: int) -> None:
+        p = self._pos.get(index)
+        if p is not None and p + 1 > self._cursor:
+            self._cursor = p + 1
+
+    def _insert(self, index: int, arrays) -> None:
+        if index in self._cache:
+            self._cache.move_to_end(index)
+            return
+        self._cache[index] = arrays
+        while len(self._cache) > self.capacity:
+            old, _dropped = self._cache.popitem(last=False)
+            self.evictions += 1
+            self.obs.add("prefetch.evictions")
+            if self.on_evict is not None:
+                self.on_evict(old)
+
+    # -- lifecycle / reporting -----------------------------------------
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            for fut in list(self._futures.values()):
+                fut.cancel()
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        with self._lock:
+            self._futures.clear()
+            self._cache.clear()
+
+    def snapshot(self) -> dict:
+        """Counters + the host activity lane (the result's ``prefetch``)."""
+        with self._lock:
+            total = self.hits + self.waits + self.faults
+            return {
+                "capacity": self.capacity,
+                "workers": self.workers,
+                "hits": self.hits,
+                "waits": self.waits,
+                "faults": self.faults,
+                "evictions": self.evictions,
+                "prefetched": self.prefetched,
+                "bytes_loaded": self.bytes_loaded,
+                "wait_seconds": self.wait_seconds,
+                "hit_rate": self.hits / total if total else 0.0,
+                "lane": list(self.lane),
+            }
 
 
 class DataMovementEngine:

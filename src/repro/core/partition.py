@@ -42,24 +42,34 @@ PTR_BYTES = 8
 # ----------------------------------------------------------------------
 # Interval selection strategies (the Partition Logic Table)
 # ----------------------------------------------------------------------
+def edge_balanced_from_loads(load: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Boundary math of :func:`edge_balanced_intervals` from a per-vertex
+    load array alone -- shared with the external partitioner, which
+    accumulates degrees in a streaming pass and never holds the edges.
+    """
+    n = len(load)
+    if n == 0:
+        return np.zeros(num_partitions + 1, dtype=np.int64)
+    # Give every vertex a small epsilon so isolated-vertex runs still
+    # split and no interval is forced empty.
+    cum = np.cumsum(load.astype(np.float64) + 1e-9)
+    total = cum[-1]
+    targets = total * np.arange(1, num_partitions) / num_partitions
+    inner = np.searchsorted(cum, targets, side="left") + 1
+    boundaries = np.concatenate(([0], inner, [n])).astype(np.int64)
+    return np.maximum.accumulate(boundaries)
+
+
 def edge_balanced_intervals(edges: EdgeList, num_partitions: int) -> np.ndarray:
     """Interval boundaries equalizing per-shard (in + out) edge counts.
 
     Returns ``boundaries`` of length ``num_partitions + 1`` with
     ``boundaries[0] == 0`` and ``boundaries[-1] == num_vertices``.
     """
-    n = edges.num_vertices
-    if n == 0:
+    if edges.num_vertices == 0:
         return np.zeros(num_partitions + 1, dtype=np.int64)
-    load = (edges.out_degrees() + edges.in_degrees()).astype(np.float64)
-    # Give every vertex a small epsilon so isolated-vertex runs still
-    # split and no interval is forced empty.
-    cum = np.cumsum(load + 1e-9)
-    total = cum[-1]
-    targets = total * np.arange(1, num_partitions) / num_partitions
-    inner = np.searchsorted(cum, targets, side="left") + 1
-    boundaries = np.concatenate(([0], inner, [n])).astype(np.int64)
-    return np.maximum.accumulate(boundaries)
+    load = edges.out_degrees() + edges.in_degrees()
+    return edge_balanced_from_loads(load, num_partitions)
 
 
 def vertex_balanced_intervals(edges: EdgeList, num_partitions: int) -> np.ndarray:
@@ -95,37 +105,15 @@ class PartitionLogicTable:
 # ----------------------------------------------------------------------
 # Shards
 # ----------------------------------------------------------------------
-@dataclass
-class Shard:
-    """All edges incident to one vertex interval (Figure 7).
+class ShardBytes:
+    """Streaming-buffer byte accounting shared by every shard flavour.
 
-    ``csc`` holds the interval's in-edges (rows are interval vertices,
-    ``csc.indices`` their source vertices) and ``csr`` its out-edges.
-    ``csc_weights``/``csr_weights`` are the static edge values in each
-    layout; ``edge_update_array`` slots (one per in-edge) and the
-    interval slice of the ``vertex_update_array`` live in the runtime's
-    buffer pool and are sized from this shard's counts.
+    Everything here is a function of three counts --
+    ``num_interval_vertices``, ``num_in_edges``, ``num_out_edges`` -- so
+    the Data Movement Engine can size transfers for an in-RAM
+    :class:`Shard` and an out-of-core lazy shard identically, without
+    the latter ever faulting its arrays in from disk.
     """
-
-    index: int
-    start: int
-    stop: int
-    csc: CSR
-    csr: CSR
-    csc_weights: np.ndarray | None = None
-    csr_weights: np.ndarray | None = None
-
-    @property
-    def num_interval_vertices(self) -> int:
-        return self.stop - self.start
-
-    @property
-    def num_in_edges(self) -> int:
-        return self.csc.num_edges
-
-    @property
-    def num_out_edges(self) -> int:
-        return self.csr.num_edges
 
     @property
     def num_edges(self) -> int:
@@ -193,6 +181,39 @@ class Shard:
 
     def total_bytes(self, with_weights: bool, with_edge_state: bool) -> int:
         return sum(self.buffer_bytes(with_weights, with_edge_state).values())
+
+
+@dataclass
+class Shard(ShardBytes):
+    """All edges incident to one vertex interval (Figure 7).
+
+    ``csc`` holds the interval's in-edges (rows are interval vertices,
+    ``csc.indices`` their source vertices) and ``csr`` its out-edges.
+    ``csc_weights``/``csr_weights`` are the static edge values in each
+    layout; ``edge_update_array`` slots (one per in-edge) and the
+    interval slice of the ``vertex_update_array`` live in the runtime's
+    buffer pool and are sized from this shard's counts.
+    """
+
+    index: int
+    start: int
+    stop: int
+    csc: CSR
+    csr: CSR
+    csc_weights: np.ndarray | None = None
+    csr_weights: np.ndarray | None = None
+
+    @property
+    def num_interval_vertices(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def num_in_edges(self) -> int:
+        return self.csc.num_edges
+
+    @property
+    def num_out_edges(self) -> int:
+        return self.csr.num_edges
 
 
 @dataclass

@@ -353,6 +353,24 @@ class PlanCache:
         self._record(hit=False, invalidated=cached is not None)
         return plan
 
+    def drop_shard(self, index: int) -> None:
+        """Release every cached plan holding a shard's arrays.
+
+        Dense plans alias the shard's CSR/CSC storage *by reference*, so
+        when the out-of-core prefetcher evicts a memmapped shard it calls
+        this hook -- otherwise the cached plans would pin the evicted
+        mappings (and their address space) for the rest of the run. The
+        row-set entries survive: they are frontier state, not shard
+        data, so a re-faulted shard revalidates instead of rebuilding
+        from the mask.
+
+        Thread safety matches the class contract: each dict entry is
+        touched by at most one worker's shard, and per-key ``pop`` is
+        atomic under the GIL.
+        """
+        for store in (self._gather, self._out, self._dense_gather, self._dense_out):
+            store.pop(index, None)
+
     def active_rows(self, shard: Shard):
         """(rows, dense) for the apply phase.
 

@@ -29,7 +29,13 @@ from repro.core.api import GASProgram
 from repro.core.compute import ComputeEngine
 from repro.core.frontier import FrontierManager
 from repro.core.fusion import PhaseGroup, build_async_plan, build_plan
-from repro.core.movement import DataMovementEngine, MovementConfig, MovementStats
+from repro.core.movement import (
+    DataMovementEngine,
+    HostPrefetcher,
+    MovementConfig,
+    MovementStats,
+    optimal_concurrent_shards,
+)
 from repro.core.partition import PartitionEngine, ShardedGraph
 from repro.core.plans import PlanCache
 from repro.graph.edgelist import EdgeList
@@ -86,6 +92,18 @@ class GraphReduceOptions:
     dense_fast_path: bool = True
     plan_cache: bool = True
     parallel_shards: int = 0
+    #: Out-of-core execution (shard-store-backed runs only; see
+    #: :mod:`repro.core.shardstore`). ``memory_budget`` bounds the host
+    #: RAM spent on resident shards: the prefetcher's LRU capacity comes
+    #: from the Eq. (1)/(2) formula with this budget standing in for
+    #: device memory (None -> every shard may stay resident).
+    #: ``host_prefetch`` toggles the asynchronous warming threads;
+    #: disabled, shards fault in synchronously on first touch.
+    #: Like the host fast paths these change wall-clock only -- results
+    #: and the simulated timeline are bit-identical to in-RAM runs.
+    memory_budget: int | None = None
+    host_prefetch: bool = True
+    prefetch_workers: int = 2
     trace: bool = True
     #: structured observability (hierarchical spans + typed counters,
     #: see :mod:`repro.obs`); when off the runtime uses the shared
@@ -180,6 +198,9 @@ class GraphReduceResult:
     #: gather-plan cache totals (hits/misses/invalidations/hit_rate) of
     #: the host fast paths; None when both fast paths were disabled
     plan_cache: dict | None = None
+    #: host prefetcher totals + wall-clock activity lane (out-of-core
+    #: shard-store runs only; None for in-RAM runs)
+    prefetch: dict | None = None
 
     @property
     def memcpy_fraction(self) -> float:
@@ -203,11 +224,21 @@ class GraphReduce:
 
     def __init__(
         self,
-        edges: EdgeList,
+        edges: EdgeList | None = None,
         machine: MachineSpec | None = None,
         options: GraphReduceOptions | None = None,
         partition_engine: PartitionEngine | None = None,
+        shard_store=None,
     ):
+        if shard_store is not None and not hasattr(shard_store, "load_arrays"):
+            from repro.core.shardstore import ShardStore
+
+            shard_store = ShardStore.open(shard_store)
+        self.shard_store = shard_store
+        if edges is None:
+            if shard_store is None:
+                raise ValueError("GraphReduce needs an edge list or a shard store")
+            edges = shard_store.edgelist()
         self.edges = edges
         self.machine = machine or default_machine()
         self.options = options or GraphReduceOptions()
@@ -236,22 +267,34 @@ class GraphReduce:
         with_weights = program.needs_weights
         with_state = program.edge_dtype is not None
         resident_bytes = self._resident_bytes(program, edges.num_vertices)
+        prefetcher = None
         with obs.span("partition", category="setup") as part_span:
-            p = opts.num_partitions or PartitionEngine.choose_num_partitions(
-                edges,
-                self.machine.device.memory_bytes,
-                with_weights,
-                with_state,
-                resident_bytes,
-            )
-            key = (p, opts.partition_logic, with_weights, id(edges))
-            sharded = self._sharded_cache.get(key)
-            if sharded is None:
-                sharded = self.partition_engine.partition(edges, p, opts.partition_logic)
-                self._sharded_cache[key] = sharded
-            part_span.set(
-                num_partitions=sharded.num_partitions, logic=opts.partition_logic
-            )
+            if self.shard_store is not None:
+                sharded, prefetcher = self._open_store(
+                    program, opts, with_weights, with_state, resident_bytes, obs
+                )
+                part_span.set(
+                    num_partitions=sharded.num_partitions,
+                    logic=self.shard_store.logic,
+                    shard_store=str(self.shard_store.path),
+                    prefetch_capacity=prefetcher.capacity,
+                )
+            else:
+                p = opts.num_partitions or PartitionEngine.choose_num_partitions(
+                    edges,
+                    self.machine.device.memory_bytes,
+                    with_weights,
+                    with_state,
+                    resident_bytes,
+                )
+                key = (p, opts.partition_logic, with_weights, id(edges))
+                sharded = self._sharded_cache.get(key)
+                if sharded is None:
+                    sharded = self.partition_engine.partition(edges, p, opts.partition_logic)
+                    self._sharded_cache[key] = sharded
+                part_span.set(
+                    num_partitions=sharded.num_partitions, logic=opts.partition_logic
+                )
 
         device = GPUDevice(sim, self.machine.device, TraceRecorder(enabled=opts.trace))
         movement = DataMovementEngine(
@@ -319,6 +362,10 @@ class GraphReduce:
             cache=opts.plan_cache,
         )
         compute = ComputeEngine(sharded, program, ctx, frontier, obs=obs, plans=plans)
+        if prefetcher is not None:
+            # Dense plans alias the memmapped shard arrays by reference;
+            # eviction must drop them or the mappings stay pinned.
+            prefetcher.on_evict = plans.drop_shard
         if opts.execution_mode == "async":
             plan = build_async_plan(program, obs=obs)
         elif opts.execution_mode == "bsp":
@@ -366,6 +413,22 @@ class GraphReduce:
                 ) as it_span:
                     for group in plan:
                         shards, skipped = self._select_shards(group, sharded, frontier, opts)
+                        if prefetcher is not None:
+                            # Only the frontier-selected shards: skipped
+                            # shards are neither prefetched nor faulted.
+                            prefetcher.schedule([s.index for s in shards])
+                        if prefetcher is None:
+                            run_shard = (
+                                lambda shard, g=group: compute.run_group(
+                                    g.phases, shard, count_full=not opts.frontier_skipping
+                                )
+                            )
+                        else:
+                            def run_shard(shard, g=group, pf=prefetcher):
+                                pf.get(shard.index)
+                                return compute.run_group(
+                                    g.phases, shard, count_full=not opts.frontier_skipping
+                                )
                         with obs.span(
                             group.name,
                             category="phase",
@@ -377,9 +440,7 @@ class GraphReduce:
                                 group,
                                 shards,
                                 skipped,
-                                lambda shard, g=group: compute.run_group(
-                                    g.phases, shard, count_full=not opts.frontier_skipping
-                                ),
+                                run_shard,
                                 executor=executor,
                             )
                     with obs.span("frontier", category="phase"):
@@ -407,6 +468,8 @@ class GraphReduce:
         finally:
             if executor is not None:
                 executor.shutdown(wait=True)
+            if prefetcher is not None:
+                prefetcher.shutdown()
 
         run_span.set(iterations=iteration, converged=converged)
         run_span_cm.__exit__(None, None, None)
@@ -435,7 +498,48 @@ class GraphReduce:
             observer=obs if opts.observe else None,
             engine_snapshots=engine_snapshots,
             plan_cache=plans.stats() if plans.enabled else None,
+            prefetch=prefetcher.snapshot() if prefetcher is not None else None,
         )
+
+    # ------------------------------------------------------------------
+    def _open_store(self, program, opts, with_weights, with_state, resident_bytes, obs):
+        """Lazy sharded view + budgeted prefetcher over ``shard_store``.
+
+        The prefetcher's LRU capacity is Eq. (1)/(2) with the host
+        ``memory_budget`` in place of device memory: how many whole
+        shards (plus their interval's share of vertex staging and the
+        resident vertex arrays) fit the budget. No budget -> every
+        shard may stay resident, like a host whose RAM fits the graph.
+        """
+        store = self.shard_store
+        if opts.num_partitions and opts.num_partitions != store.num_partitions:
+            raise ValueError(
+                f"options request {opts.num_partitions} partitions but the "
+                f"shard store was built with {store.num_partitions}"
+            )
+        unit_weights = with_weights and not store.weighted
+        sharded = store.sharded_graph(unit_weights=unit_weights)
+        if opts.memory_budget is not None:
+            capacity = optimal_concurrent_shards(
+                opts.memory_budget,
+                resident_bytes,
+                store.max_interval_vertices() * 4,
+                sharded.max_shard_bytes(with_weights, with_state),
+                store.num_partitions,
+                hardware_limit=store.num_partitions,
+            )
+        else:
+            capacity = store.num_partitions
+        prefetcher = HostPrefetcher(
+            store,
+            capacity,
+            workers=opts.prefetch_workers if opts.host_prefetch else 0,
+            obs=obs,
+            unit_weights=unit_weights,
+        )
+        for shard in sharded.shards:
+            shard.bind(prefetcher)
+        return sharded, prefetcher
 
     # ------------------------------------------------------------------
     @staticmethod

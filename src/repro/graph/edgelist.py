@@ -7,7 +7,8 @@ per-shard CSC/CSR order; everything upstream of that works on this class.
 
 Vertex ids are ``int32`` (reproduction-scale graphs stay far below 2**31)
 and edge weights ``float32``, matching the paper's `float` datatype for
-all experiments.
+all experiments. Graphs whose vertex count does not fit ``int32`` fall
+back to ``int64`` ids so ids straddling 2**32 survive a round-trip.
 """
 
 from __future__ import annotations
@@ -34,8 +35,11 @@ class EdgeList:
     name: str = field(default="graph")
 
     def __post_init__(self) -> None:
-        self.src = np.ascontiguousarray(self.src, dtype=VID_DTYPE)
-        self.dst = np.ascontiguousarray(self.dst, dtype=VID_DTYPE)
+        vid_dtype = VID_DTYPE
+        if self.num_vertices > np.iinfo(VID_DTYPE).max:
+            vid_dtype = np.int64
+        self.src = np.ascontiguousarray(self.src, dtype=vid_dtype)
+        self.dst = np.ascontiguousarray(self.dst, dtype=vid_dtype)
         if self.src.shape != self.dst.shape or self.src.ndim != 1:
             raise ValueError("src and dst must be 1-D arrays of equal length")
         if self.weights is not None:

@@ -33,24 +33,59 @@ def save_edgelist_txt(edges: EdgeList, path) -> None:
             )
 
 
-def load_edgelist_txt(path, num_vertices: int | None = None, name: str | None = None) -> EdgeList:
-    path = Path(path)
-    rows = []
+#: Lines parsed per ``np.loadtxt`` call in the chunked text reader.
+TXT_CHUNK_LINES = 1 << 16
+
+
+def _iter_txt_blocks(path: Path, chunk_lines: int):
+    """Yield ``(m, width)`` float64 blocks of an edge-list text file.
+
+    Comments and blank lines are stripped before parsing, then each
+    batch of lines goes through one vectorized ``np.loadtxt`` call --
+    no per-line Python lists, and peak memory is one chunk, not the
+    whole file.
+    """
+    width = None
+
+    def parse(lines):
+        nonlocal width
+        try:
+            block = np.loadtxt(_io.StringIO("".join(lines)), dtype=np.float64, ndmin=2)
+        except ValueError as exc:
+            raise ValueError(f"{path}: inconsistent column counts") from exc
+        if width is None:
+            width = block.shape[1]
+        elif block.shape[1] != width:
+            raise ValueError(f"{path}: inconsistent column counts")
+        return block
+
+    pending: list[str] = []
     with path.open() as fh:
         for line in fh:
             line = line.strip()
             if not line or line[0] in "#%":
                 continue
-            rows.append(line.split())
-    if not rows:
+            pending.append(line + "\n")
+            if len(pending) >= chunk_lines:
+                yield parse(pending)
+                pending = []
+    if pending:
+        yield parse(pending)
+
+
+def load_edgelist_txt(path, num_vertices: int | None = None, name: str | None = None) -> EdgeList:
+    path = Path(path)
+    chunks = list(_iter_txt_blocks(path, TXT_CHUNK_LINES))
+    if not chunks:
         return EdgeList(num_vertices or 0, np.empty(0, VID_DTYPE), np.empty(0, VID_DTYPE), name=name or path.stem)
-    width = len(rows[0])
-    if any(len(r) != width for r in rows):
-        raise ValueError(f"{path}: inconsistent column counts")
-    data = np.asarray(rows, dtype=np.float64)
-    src = data[:, 0].astype(VID_DTYPE)
-    dst = data[:, 1].astype(VID_DTYPE)
-    weights = data[:, 2].astype(WEIGHT_DTYPE) if width >= 3 else None
+    width = chunks[0].shape[1]
+    src = np.concatenate([c[:, 0] for c in chunks]).astype(np.int64)
+    dst = np.concatenate([c[:, 1] for c in chunks]).astype(np.int64)
+    weights = (
+        np.concatenate([c[:, 2] for c in chunks]).astype(WEIGHT_DTYPE)
+        if width >= 3
+        else None
+    )
     if num_vertices is None:
         num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
     return EdgeList(num_vertices, src, dst, weights, name=name or path.stem)
@@ -60,9 +95,16 @@ def load_edgelist_txt(path, num_vertices: int | None = None, name: str | None = 
 # NPZ binary
 # ----------------------------------------------------------------------
 def save_npz(edges: EdgeList, path) -> None:
+    src, dst = edges.src, edges.dst
+    # Endpoints are validated non-negative, so any graph whose ids fit
+    # below 2**32 stores as uint32 -- half the disk and load footprint
+    # of the int64 fallback used by >2**31-vertex graphs.
+    if int(max(src.max(initial=0), dst.max(initial=0))) < 2**32:
+        src = src.astype(np.uint32)
+        dst = dst.astype(np.uint32)
     arrays = {
-        "src": edges.src,
-        "dst": edges.dst,
+        "src": src,
+        "dst": dst,
         "num_vertices": np.int64(edges.num_vertices),
         "undirected": np.bool_(edges.undirected),
     }
@@ -74,6 +116,8 @@ def save_npz(edges: EdgeList, path) -> None:
 def load_npz(path, name: str | None = None) -> EdgeList:
     path = Path(path)
     with np.load(path) as data:
+        # EdgeList coerces the stored uint32 ids back to VID_DTYPE
+        # (int64 when the vertex count overflows int32).
         return EdgeList(
             int(data["num_vertices"]),
             data["src"],
@@ -81,6 +125,63 @@ def load_npz(path, name: str | None = None) -> EdgeList:
             data["weights"] if "weights" in data else None,
             undirected=bool(data["undirected"]),
             name=name or path.stem,
+        )
+
+
+# ----------------------------------------------------------------------
+# Streaming ingestion (chunked readers for the external partitioner)
+# ----------------------------------------------------------------------
+def edgelist_metadata(path) -> dict:
+    """What an input file declares about itself without reading edges.
+
+    ``num_vertices`` is ``None`` for text inputs (derived from the max
+    endpoint during the counting pass instead).
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        with np.load(path) as data:
+            return {
+                "num_vertices": int(data["num_vertices"]),
+                "undirected": bool(data["undirected"]),
+                "weighted": "weights" in data,
+                "name": path.stem,
+            }
+    return {
+        "num_vertices": None,
+        "undirected": False,
+        "weighted": None,
+        "name": path.stem,
+    }
+
+
+def iter_edge_chunks(path, chunk_edges: int = 1 << 20):
+    """Yield ``(src, dst, weights_or_None)`` chunks from a .txt or .npz
+    edge list -- ``src``/``dst`` as int64, weights as float32.
+
+    Peak memory is one chunk; the .npz path memory-maps nothing (NpzFile
+    decompresses per member) but slices the member arrays chunkwise so
+    downstream bucketing never holds the full edge set either.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        with np.load(path) as data:
+            src = data["src"]
+            dst = data["dst"]
+            weights = data["weights"] if "weights" in data else None
+            for lo in range(0, len(src), chunk_edges):
+                hi = min(lo + chunk_edges, len(src))
+                yield (
+                    src[lo:hi].astype(np.int64),
+                    dst[lo:hi].astype(np.int64),
+                    None if weights is None else weights[lo:hi].astype(WEIGHT_DTYPE),
+                )
+        return
+    lines = max(1, chunk_edges)
+    for block in _iter_txt_blocks(path, lines):
+        yield (
+            block[:, 0].astype(np.int64),
+            block[:, 1].astype(np.int64),
+            block[:, 2].astype(WEIGHT_DTYPE) if block.shape[1] >= 3 else None,
         )
 
 

@@ -96,11 +96,113 @@ def run_suite(names: list[str] | None = None) -> dict:
 # ----------------------------------------------------------------------
 
 
-def _wallclock_cases() -> dict[str, dict]:
-    """name -> {"make", "min_speedup"} for the host fast-path harness.
+@dataclass
+class WallclockCase:
+    """One fully constructed ``bench-wallclock`` scenario.
 
-    ``make()`` returns ``(edges, program_factory, fast_opts, slow_opts)``
-    where the two option sets differ only in the host fast paths (dense
+    ``engines`` maps ``"fast"``/``"slow"`` to ready-to-run GraphReduce
+    engines that must produce bit-identical results and simulated
+    timelines -- only their host-side wall clock may differ.
+    ``metrics_engine`` is the traced configuration whose deterministic
+    simulated metrics go into the committed snapshot. ``extra`` (if set)
+    runs once after timing -- subprocess probes and gates live there --
+    and its dict is merged into the measurement; ``cleanup`` (if set)
+    always runs, even when the case fails.
+    """
+
+    engines: dict
+    make_program: Callable
+    metrics_engine: object
+    min_speedup: float
+    extra: Callable | None = None
+    cleanup: Callable | None = None
+
+
+def _ooc_wallclock_case(shard_store=None, memory_budget=None) -> WallclockCase:
+    """Out-of-core PageRank: warm prefetch pipeline vs cold shard loads.
+
+    Both sides stream the same on-disk shard store. The fast side keeps
+    the whole store warm behind the prefetcher (full-capacity cache);
+    the slow side models cold per-shard loading -- a capacity-1 cache
+    with no prefetch threads, so every shard acquisition is a fresh
+    ``np.load`` + CSR validation and (via the eviction hook) a gather-
+    plan rebuild. The OS page cache serves both sides, so the ratio
+    isolates the host pipeline, not disk bandwidth.
+
+    ``extra`` re-runs the workload in a fresh interpreter
+    (:mod:`repro.obs.ooc_probe`) under a shard-cache budget and gates
+    the measured peak-RSS growth below the graph's in-RAM footprint --
+    the out-of-core claim itself.
+    """
+    import shutil
+    import tempfile
+
+    from repro.algorithms import PageRank
+    from repro.core.partition import PartitionEngine
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
+    from repro.core.shardstore import ShardStore
+    from repro.graph.generators import erdos_renyi
+    from repro.graph.properties import footprint_bytes
+
+    cleanup = None
+    if shard_store is None:
+        edges = erdos_renyi(65_536, 1_000_000, seed=7, name="er-wallclock")
+        tmp = Path(tempfile.mkdtemp(prefix="repro-ooc-bench-"))
+        store = ShardStore.save(PartitionEngine().partition(edges, 8), tmp / "store")
+        cleanup = lambda: shutil.rmtree(tmp, ignore_errors=True)
+        in_ram_bytes = footprint_bytes(edges)
+    else:
+        store = ShardStore.open(shard_store)
+        in_ram_bytes = footprint_bytes(store.edgelist())
+
+    common = dict(cache_policy="never", observe=False, trace=False)
+    fast = GraphReduceOptions(**common, memory_budget=memory_budget)
+    slow = GraphReduceOptions(**common, host_prefetch=False, memory_budget=1)
+    # No prefetch threads in the metrics pass: the hit/fault split is
+    # then deterministic, so the committed snapshot never churns.
+    metrics = GraphReduceOptions(
+        cache_policy="never", host_prefetch=False, memory_budget=memory_budget
+    )
+    # An eighth of the in-RAM footprint keeps the probe's shard cache at
+    # minimum capacity -- the starkest demonstration that peak RSS is a
+    # budget property, not a graph-size property.
+    probe_budget = memory_budget if memory_budget is not None else max(1, in_ram_bytes // 8)
+
+    def extra(metrics_result):
+        probe = run_ooc_probe(store.path, iterations=8, memory_budget=probe_budget)
+        if not probe.get("ok"):
+            raise AssertionError(f"ooc probe failed: {probe.get('error', probe)}")
+        if probe["rss_delta_bytes"] >= in_ram_bytes:
+            raise AssertionError(
+                f"out-of-core peak-RSS growth {probe['rss_delta_bytes']} B is not "
+                f"below the in-RAM footprint {in_ram_bytes} B"
+            )
+        return {
+            "in_ram_bytes": int(in_ram_bytes),
+            "ooc_probe": {
+                k: probe[k]
+                for k in ("max_rss_bytes", "rss_delta_bytes", "memory_budget")
+                if k in probe
+            },
+        }
+
+    return WallclockCase(
+        engines={
+            "fast": GraphReduce(shard_store=store, options=fast),
+            "slow": GraphReduce(shard_store=store, options=slow),
+        },
+        make_program=lambda: PageRank(tolerance=None, max_iterations=8),
+        metrics_engine=GraphReduce(shard_store=store, options=metrics),
+        min_speedup=1.5,
+        extra=extra,
+        cleanup=cleanup,
+    )
+
+
+def _wallclock_cases(shard_store=None, memory_budget=None) -> dict[str, Callable]:
+    """name -> zero-arg factory returning a :class:`WallclockCase`.
+
+    The host fast-path cases differ only in the host fast paths (dense
     plans + plan cache + parallel shard compute on vs all off), so the
     simulated device timeline is identical by construction and the
     wall-clock ratio isolates the host-side win.
@@ -111,10 +213,12 @@ def _wallclock_cases() -> dict[str, dict]:
     target. BFS's frontier changes every iteration, so no plan is ever
     reusable; its case documents that the fast-path bookkeeping does not
     meaningfully slow the workloads that cannot benefit (min_speedup is
-    a pathology guard, not a win claim).
+    a pathology guard, not a win claim). ``ooc_pagerank_wallclock``
+    measures the out-of-core tier instead -- see
+    :func:`_ooc_wallclock_case`.
     """
     from repro.algorithms import BFS, PageRank
-    from repro.core.runtime import GraphReduceOptions
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
 
     common = dict(cache_policy="never", num_partitions=4, observe=False, trace=False)
     fast = GraphReduceOptions(**common, parallel_shards=4)
@@ -126,82 +230,142 @@ def _wallclock_cases() -> dict[str, dict]:
 
         return erdos_renyi(65_536, 1_000_000, seed=7, name="er-wallclock")
 
+    def fastpath_case(make_program, min_speedup):
+        def factory():
+            edges = graph()
+            return WallclockCase(
+                engines={
+                    "fast": GraphReduce(edges, options=fast),
+                    "slow": GraphReduce(edges, options=slow),
+                },
+                make_program=make_program,
+                metrics_engine=GraphReduce(edges, options=metrics),
+                min_speedup=min_speedup,
+            )
+
+        return factory
+
     return {
-        "pagerank_wallclock": {
-            "make": lambda: (
-                graph(),
-                lambda: PageRank(tolerance=None, max_iterations=25),
-                fast,
-                slow,
-                metrics,
-            ),
-            "min_speedup": 2.0,
-        },
-        "bfs_wallclock": {
-            "make": lambda: (graph(), lambda: BFS(source=0), fast, slow, metrics),
-            "min_speedup": 0.6,
-        },
+        "pagerank_wallclock": fastpath_case(
+            lambda: PageRank(tolerance=None, max_iterations=25), 2.0
+        ),
+        "bfs_wallclock": fastpath_case(lambda: BFS(source=0), 0.6),
+        "ooc_pagerank_wallclock": lambda: _ooc_wallclock_case(shard_store, memory_budget),
     }
 
 
-def run_wallclock_suite(repeats: int = 3) -> dict:
+def run_wallclock_suite(
+    repeats: int = 3, shard_store=None, memory_budget=None
+) -> dict:
     """Measure the host fast paths; returns ``{name: measurement}``.
 
-    Each case runs twice per repeat -- fast paths on and off,
+    Each case runs twice per repeat -- fast and slow configurations,
     interleaved so machine drift cancels out of the ratio -- after one
     warm-up pass per side, and keeps the best wall time of each side.
     Both sides must produce bit-identical ``vertex_values`` and
-    simulated time (the fast paths are semantics-preserving by
-    contract; the harness enforces it). A final traced pass with the
-    fast configuration records the deterministic device metrics, which
+    simulated time (the fast paths and the out-of-core tier are
+    semantics-preserving by contract; the harness enforces it). A final
+    traced pass records the deterministic device metrics, which
     ``repro bench-check`` gates like any other snapshot.
+
+    ``shard_store``/``memory_budget`` parameterize the out-of-core case:
+    reuse an existing store directory instead of building a temporary
+    one, and cap its warm configuration's shard cache.
     """
     import time
 
     import numpy as np
 
-    from repro.core.runtime import GraphReduce
-
     out = {}
-    for name, case in sorted(_wallclock_cases().items()):
-        edges, make_program, fast_opts, slow_opts, metrics_opts = case["make"]()
-        engines = {
-            "fast": GraphReduce(edges, options=fast_opts),
-            "slow": GraphReduce(edges, options=slow_opts),
-        }
-        results: dict = {}
-        times: dict[str, list[float]] = {"fast": [], "slow": []}
-        for key, eng in engines.items():
-            eng.run(make_program())  # warm-up (allocator, caches, JIT-free)
-        for _ in range(max(1, repeats)):
-            for key, eng in engines.items():
-                t0 = time.perf_counter()
-                results[key] = eng.run(make_program())
-                times[key].append(time.perf_counter() - t0)
-        fast_r, slow_r = results["fast"], results["slow"]
-        if not np.array_equal(fast_r.vertex_values, slow_r.vertex_values):
-            raise AssertionError(f"{name}: fast/slow paths disagree on vertex values")
-        if fast_r.sim_time != slow_r.sim_time:
-            raise AssertionError(
-                f"{name}: fast paths perturbed the simulated timeline "
-                f"({fast_r.sim_time} vs {slow_r.sim_time})"
+    for name, factory in sorted(_wallclock_cases(shard_store, memory_budget).items()):
+        case = factory()
+        try:
+            results: dict = {}
+            times: dict[str, list[float]] = {"fast": [], "slow": []}
+            for key, eng in case.engines.items():
+                eng.run(case.make_program())  # warm-up (allocator, caches, JIT-free)
+            for _ in range(max(1, repeats)):
+                for key, eng in case.engines.items():
+                    t0 = time.perf_counter()
+                    results[key] = eng.run(case.make_program())
+                    times[key].append(time.perf_counter() - t0)
+            fast_r, slow_r = results["fast"], results["slow"]
+            if not np.array_equal(fast_r.vertex_values, slow_r.vertex_values):
+                raise AssertionError(f"{name}: fast/slow paths disagree on vertex values")
+            if fast_r.sim_time != slow_r.sim_time:
+                raise AssertionError(
+                    f"{name}: fast paths perturbed the simulated timeline "
+                    f"({fast_r.sim_time} vs {slow_r.sim_time})"
+                )
+            if fast_r.frontier_history != slow_r.frontier_history:
+                raise AssertionError(f"{name}: fast/slow paths disagree on frontier history")
+            metrics_r = case.metrics_engine.run(case.make_program())
+            if metrics_r.sim_time != slow_r.sim_time:
+                raise AssertionError(f"{name}: traced metrics run diverged from timed runs")
+            m = measure(metrics_r)
+            best_fast, best_slow = min(times["fast"]), min(times["slow"])
+            m.update(
+                wall_seconds_fast=best_fast,
+                wall_seconds_slow=best_slow,
+                speedup=best_slow / best_fast,
+                min_speedup=case.min_speedup,
+                plan_cache=metrics_r.plan_cache,
             )
-        if fast_r.frontier_history != slow_r.frontier_history:
-            raise AssertionError(f"{name}: fast/slow paths disagree on frontier history")
-        metrics_r = GraphReduce(edges, options=metrics_opts).run(make_program())
-        if metrics_r.sim_time != slow_r.sim_time:
-            raise AssertionError(f"{name}: traced metrics run diverged from timed runs")
-        m = measure(metrics_r)
-        best_fast, best_slow = min(times["fast"]), min(times["slow"])
-        m.update(
-            wall_seconds_fast=best_fast,
-            wall_seconds_slow=best_slow,
-            speedup=best_slow / best_fast,
-            min_speedup=case["min_speedup"],
-            plan_cache=metrics_r.plan_cache,
-        )
-        out[name] = m
+            prefetch = getattr(metrics_r, "prefetch", None)
+            if prefetch:
+                m["prefetch"] = {k: v for k, v in prefetch.items() if k != "lane"}
+            if case.extra is not None:
+                m.update(case.extra(metrics_r))
+            out[name] = m
+        finally:
+            if case.cleanup is not None:
+                case.cleanup()
     return out
+
+
+def run_ooc_probe(
+    store_path,
+    iterations: int = 8,
+    memory_budget: int | None = None,
+    address_space_cap: int | None = None,
+    profile_out=None,
+    timeout: float = 600.0,
+) -> dict:
+    """Run :mod:`repro.obs.ooc_probe` in a fresh interpreter.
+
+    ``ru_maxrss`` is lifetime-monotone, so a run's peak RSS can only be
+    measured by a process that has done nothing else -- hence the
+    subprocess. Returns the probe's JSON document; on a crash the dict
+    has ``ok: False`` plus the captured stderr tail.
+    """
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "repro.obs.ooc_probe", str(store_path),
+        "--iterations", str(iterations),
+    ]
+    if memory_budget is not None:
+        cmd += ["--memory-budget", str(memory_budget)]
+    if address_space_cap is not None:
+        cmd += ["--address-space-cap", str(address_space_cap)]
+    if profile_out is not None:
+        cmd += ["--profile-out", str(profile_out)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout, env=env)
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return {
+            "ok": False,
+            "returncode": proc.returncode,
+            "error": (proc.stderr or proc.stdout).strip()[-2000:],
+        }
 
 
 def check_wallclock(baseline: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE):

@@ -1,0 +1,124 @@
+"""Out-of-core peak-RSS probe (``python -m repro.obs.ooc_probe``).
+
+Opens a shard store, runs fixed-iteration PageRank out-of-core and
+prints one JSON object with the run's peak RSS, prefetch counters and a
+vertex-value checksum. It must run in a *fresh* interpreter because
+``ru_maxrss`` is lifetime-monotone: a process that has already touched
+a large array can never measure a smaller peak again --
+:func:`repro.obs.bench.run_ooc_probe` is the subprocess wrapper.
+
+``--address-space-cap`` turns the measurement into an enforced claim:
+``resource.setrlimit(RLIMIT_AS)`` hard-caps the address space at the
+given headroom *on top of the post-import mapping*, so a cap below the
+graph's in-RAM footprint proves the run never materializes the full
+graph (memmapped pages count toward RLIMIT_AS too). CI's out-of-core
+smoke job runs exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import threading
+
+
+def _vm_bytes() -> int:
+    """Current virtual address-space size from /proc (Linux only)."""
+    with open("/proc/self/statm") as fh:
+        return int(fh.read().split()[0]) * resource.getpagesize()
+
+
+def _rss_peak_bytes() -> int:
+    """Peak RSS of *this* process image, from ``/proc/self/status``.
+
+    Not ``ru_maxrss``: Linux copies that across fork+exec, so a child
+    spawned by a fat parent (the bench harness) would inherit the
+    parent's peak and report a meaningless delta. VmHWM is per-mm and
+    resets on exec.
+    """
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("VmHWM:"):
+                return int(line.split()[1]) * 1024
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.ooc_probe",
+        description="run PageRank from a shard store and report peak RSS as JSON",
+    )
+    parser.add_argument("store", help="shard store directory (repro partition output)")
+    parser.add_argument("--iterations", type=int, default=8,
+                        help="PageRank power iterations")
+    parser.add_argument("--memory-budget", type=int, default=None,
+                        help="host RAM budget (bytes) for the shard cache")
+    parser.add_argument("--prefetch-workers", type=int, default=2)
+    parser.add_argument(
+        "--address-space-cap", type=int, default=None,
+        help="enforce RLIMIT_AS at this many bytes above the post-import "
+             "address space; the run fails if it ever maps more",
+    )
+    parser.add_argument("--profile-out", default=None,
+                        help="also write the bottleneck profile JSON here")
+    args = parser.parse_args(argv)
+
+    # Import the heavy stack before measuring or limiting anything --
+    # the probe bounds the *run*, not the interpreter.
+    import numpy as np
+
+    from repro.algorithms import PageRank
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
+    from repro.core.shardstore import ShardStore
+
+    # Prefetch worker stacks are address space too (8 MiB each by
+    # default); shrink them so the cap measures data, not thread stacks.
+    threading.stack_size(512 * 1024)
+    rss_floor = _rss_peak_bytes()
+    out: dict = {
+        "ok": False,
+        "store": args.store,
+        "rss_floor_bytes": rss_floor,
+        "memory_budget": args.memory_budget,
+        "address_space_cap_bytes": args.address_space_cap,
+    }
+    if args.address_space_cap is not None:
+        cap = _vm_bytes() + args.address_space_cap
+        resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+    try:
+        store = ShardStore.open(args.store)
+        opts = GraphReduceOptions(
+            cache_policy="never",
+            memory_budget=args.memory_budget,
+            prefetch_workers=args.prefetch_workers,
+        )
+        result = GraphReduce(shard_store=store, options=opts).run(
+            PageRank(tolerance=None, max_iterations=args.iterations)
+        )
+    except (MemoryError, OSError) as exc:  # mmap under RLIMIT_AS raises ENOMEM
+        out["error"] = f"{type(exc).__name__}: {exc}"
+        print(json.dumps(out))
+        return 1
+    peak = _rss_peak_bytes()
+    vals = result.vertex_values
+    out.update(
+        ok=True,
+        algorithm="pagerank-power",
+        iterations=result.iterations,
+        num_partitions=result.num_partitions,
+        max_rss_bytes=peak,
+        rss_delta_bytes=peak - rss_floor,
+        checksum=float(np.sum(vals[np.isfinite(vals)], dtype=np.float64)),
+        prefetch={k: v for k, v in (result.prefetch or {}).items() if k != "lane"},
+    )
+    if args.profile_out:
+        from repro.obs.profile import build_profile, write_profile
+
+        write_profile(args.profile_out, build_profile(result))
+    print(json.dumps(out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -238,6 +238,8 @@ class ProfileReport:
     validation: list[ModelCheck]
     #: gather-plan cache totals of the host fast paths (repro.core.plans)
     plan_cache: dict = field(default_factory=dict)
+    #: host shard-prefetch counters of out-of-core runs (repro.core.movement)
+    prefetch: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -257,6 +259,7 @@ class ProfileReport:
             "phases": self.phases,
             "counters": self.counters,
             "plan_cache": self.plan_cache,
+            "prefetch": self.prefetch,
             "verdict": self.verdict.to_dict(),
             "model_validation": [c.to_dict() for c in self.validation],
         }
@@ -288,6 +291,7 @@ class ProfileReport:
             f"phases skipped ({100 * self.frontier.skip_rate:.1f}%), "
             f"~{self.frontier.est_bytes_saved / 2**20:.2f} MiB of PCIe avoided",
             self._plan_cache_line(),
+            self._prefetch_line(),
             "",
             f"bottleneck         : {self.verdict.bottleneck} "
             f"({100 * self.verdict.share:.0f}% of makespan)",
@@ -322,6 +326,19 @@ class ProfileReport:
             f"plan cache         : {pc['hits']}/{queries} hits "
             f"({100 * pc.get('hit_rate', 0.0):.1f}%), "
             f"{pc.get('invalidations', 0)} invalidations (host fast paths)"
+        )
+
+    def _prefetch_line(self) -> str:
+        pf = self.prefetch
+        acquired = pf.get("hits", 0) + pf.get("waits", 0) + pf.get("faults", 0)
+        if not acquired:
+            return "host prefetch      : n/a (in-RAM run)"
+        return (
+            f"host prefetch      : {pf.get('hits', 0)}/{acquired} warm "
+            f"({100 * pf.get('hit_rate', 0.0):.1f}%), "
+            f"{pf.get('waits', 0)} waits ({pf.get('wait_seconds', 0.0):.3f} s), "
+            f"{pf.get('faults', 0)} faults, {pf.get('evictions', 0)} evictions, "
+            f"{pf.get('bytes_loaded', 0) / 2**20:.2f} MiB faulted in"
         )
 
     @property
@@ -494,6 +511,28 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         }
 
+    # -- host shard prefetch (repro.core.movement) ---------------------
+    prefetch = getattr(result, "prefetch", None)
+    if prefetch is not None:
+        # The wall-clock lane belongs in the Chrome trace, not here.
+        prefetch = {k: v for k, v in prefetch.items() if k != "lane"}
+    else:
+        hits = metrics.value("prefetch.hits")
+        waits = metrics.value("prefetch.waits")
+        faults = metrics.value("prefetch.faults")
+        acquired = hits + waits + faults
+        prefetch = {}
+        if acquired:
+            prefetch = {
+                "hits": int(hits),
+                "waits": int(waits),
+                "faults": int(faults),
+                "evictions": int(metrics.value("prefetch.evictions")),
+                "prefetched": int(metrics.value("prefetch.prefetched")),
+                "bytes_loaded": int(metrics.value("prefetch.bytes")),
+                "hit_rate": hits / acquired,
+            }
+
     run_attrs: dict = {}
     for sp in obs.find(category="run"):
         run_attrs = sp.attrs
@@ -516,6 +555,7 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
         verdict=verdict,
         validation=validation,
         plan_cache=plan_cache,
+        prefetch=prefetch,
     )
 
 

@@ -88,6 +88,43 @@ def test_fastpath_combos_match_slow_path(graph_name):
             assert _kernel_items(fast) == _kernel_items(slow), label
 
 
+# Out-of-core: the same matrix, but the graph lives in an on-disk shard
+# store. One warm config (prefetch threads + every host fast path) and
+# one deliberately starved config (1-shard cache, no warming threads)
+# must both be bit-identical to the in-RAM slow path.
+STORE_COMBOS = {
+    "prefetch_on": dict(dense_fast_path=True, plan_cache=True, parallel_shards=3),
+    "cold_budget1": dict(memory_budget=1, host_prefetch=False),
+}
+
+
+@pytest.mark.parametrize("graph_name", FIXTURE_NAMES)
+def test_store_runs_match_in_ram(graph_name, tmp_path):
+    from repro.core.shardstore import ShardStore
+
+    g = build(graph_name)
+    stores = {
+        label: ShardStore.save(PartitionEngine().partition(graph, 3), tmp_path / label)
+        for label, graph in (("plain", g), ("weighted", g.with_random_weights(seed=33)))
+    }
+    for algo, make_program in PROGRAMS.items():
+        needs_weights = "sssp" in algo
+        graph = g.with_random_weights(seed=33) if needs_weights else g
+        slow = _run(graph, make_program, SLOW)
+        store = stores["weighted" if needs_weights else "plain"]
+        for combo, extra in STORE_COMBOS.items():
+            opts = GraphReduceOptions(num_partitions=3, **extra)
+            ooc = GraphReduce(shard_store=store, options=opts).run(make_program())
+            label = f"{algo}/{combo}"
+            assert np.array_equal(ooc.vertex_values, slow.vertex_values), label
+            assert ooc.frontier_history == slow.frontier_history, label
+            assert ooc.sim_time == slow.sim_time, label
+            assert ooc.iterations == slow.iterations, label
+            assert ooc.converged == slow.converged, label
+            assert _kernel_items(ooc) == _kernel_items(slow), label
+            assert ooc.prefetch is not None, label
+
+
 def test_power_iteration_pagerank_stays_dense():
     g = build("er_mid")
     result = _run(

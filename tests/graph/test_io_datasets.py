@@ -56,6 +56,91 @@ class TestIO:
         assert np.array_equal(g.src, h.src)
         assert h.num_vertices == 30
 
+    def test_npz_small_ids_stored_uint32(self, tmp_path):
+        g = erdos_renyi(30, 80, seed=4).with_random_weights(seed=5)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        with np.load(path) as data:
+            assert data["src"].dtype == np.uint32
+            assert data["dst"].dtype == np.uint32
+        h = load_npz(path)
+        assert h.src.dtype == g.src.dtype  # coerced back to the vid dtype
+        assert np.array_equal(g.src, h.src)
+        assert np.array_equal(g.dst, h.dst)
+        assert np.array_equal(g.weights, h.weights)  # npz is bit-exact
+
+    def test_npz_ids_straddling_2_32_roundtrip(self, tmp_path):
+        n = 2**32 + 8
+        src = np.array([2**32 + 5, 2, 2**32 + 1], dtype=np.int64)
+        dst = np.array([1, 2**32 + 3, 0], dtype=np.int64)
+        g = EdgeList(n, src, dst, name="huge")
+        assert g.src.dtype == np.int64
+        path = tmp_path / "huge.npz"
+        save_npz(g, path)
+        with np.load(path) as data:
+            assert data["src"].dtype == np.int64  # uint32 would truncate
+        h = load_npz(path)
+        assert h.num_vertices == n
+        assert h.src.dtype == np.int64
+        assert np.array_equal(g.src, h.src)
+        assert np.array_equal(g.dst, h.dst)
+
+    def test_npz_wide_graph_small_ids_still_downcast(self, tmp_path):
+        # Vertex count above int32 but every endpoint below 2**32: the
+        # ids downcast to uint32 on disk and come back as int64.
+        n = 2**33
+        g = EdgeList(n, np.array([0, 2**31]), np.array([2**32 - 1, 1]), name="wide")
+        path = tmp_path / "wide.npz"
+        save_npz(g, path)
+        with np.load(path) as data:
+            assert data["src"].dtype == np.uint32
+        h = load_npz(path)
+        assert h.src.dtype == np.int64
+        assert np.array_equal(g.src, h.src)
+        assert np.array_equal(g.dst, h.dst)
+
+    def test_txt_chunked_reader_matches_whole_file(self, tmp_path, monkeypatch):
+        import repro.graph.io as gio
+
+        g = erdos_renyi(40, 200, seed=6).with_random_weights(seed=7)
+        path = tmp_path / "g.txt"
+        save_edgelist_txt(g, path)
+        whole = load_edgelist_txt(path, num_vertices=40)
+        # 7 does not divide 200: forces many chunks plus a ragged tail.
+        monkeypatch.setattr(gio, "TXT_CHUNK_LINES", 7)
+        chunked = load_edgelist_txt(path, num_vertices=40)
+        assert np.array_equal(whole.src, chunked.src)
+        assert np.array_equal(whole.dst, chunked.dst)
+        assert np.array_equal(whole.weights, chunked.weights)
+
+    def test_iter_edge_chunks_concatenates_to_full_load(self, tmp_path):
+        from repro.graph.io import iter_edge_chunks
+
+        g = erdos_renyi(30, 101, seed=8).with_random_weights(seed=9)
+        for suffix, save in (("txt", save_edgelist_txt), ("npz", save_npz)):
+            path = tmp_path / f"g.{suffix}"
+            save(g, path)
+            chunks = list(iter_edge_chunks(path, chunk_edges=13))
+            assert len(chunks) == -(-g.num_edges // 13)
+            src = np.concatenate([c[0] for c in chunks])
+            dst = np.concatenate([c[1] for c in chunks])
+            w = np.concatenate([c[2] for c in chunks])
+            assert np.array_equal(src, g.src.astype(np.int64)), suffix
+            assert np.array_equal(dst, g.dst.astype(np.int64)), suffix
+            if suffix == "npz":
+                assert np.array_equal(w, g.weights)
+            else:
+                np.testing.assert_allclose(w, g.weights, rtol=1e-5)
+
+    def test_iter_edge_chunks_unweighted(self, tmp_path):
+        from repro.graph.io import iter_edge_chunks
+
+        g = erdos_renyi(20, 50, seed=10)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        for _src, _dst, w in iter_edge_chunks(path, chunk_edges=16):
+            assert w is None
+
     def test_matrix_market_general_real(self):
         buf = io.StringIO(
             "%%MatrixMarket matrix coordinate real general\n"

@@ -91,6 +91,47 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+class TestPartition:
+    def test_partition_then_run_from_store(self, tmp_path, capsys):
+        g = erdos_renyi(60, 240, seed=4)
+        save_npz(g, tmp_path / "g.npz")
+        code, out = run_cli(
+            capsys, "partition", str(tmp_path / "g.npz"),
+            "--out", str(tmp_path / "store"), "--partitions", "4",
+        )
+        assert code == 0
+        assert "4 shards" in out and "V=60" in out
+        code, out = run_cli(
+            capsys, "run", "--shard-store", str(tmp_path / "store"),
+            "--algorithm", "pagerank-power", "--power-iterations", "5",
+            "--memory-budget", "1",
+        )
+        assert code == 0
+        assert "prefetch" in out  # counters printed for store-backed runs
+        assert "cache capacity 1" in out
+
+    def test_run_without_graph_or_store_errors(self, capsys):
+        with pytest.raises(SystemExit, match="provide --graph or --shard-store"):
+            main(["run", "--algorithm", "bfs"])
+
+    def test_profile_reports_prefetch_row(self, tmp_path, capsys):
+        g = erdos_renyi(60, 240, seed=4)
+        save_npz(g, tmp_path / "g.npz")
+        run_cli(
+            capsys, "partition", str(tmp_path / "g.npz"),
+            "--out", str(tmp_path / "store"),
+        )
+        code, out = run_cli(
+            capsys, "profile", "--shard-store", str(tmp_path / "store"),
+            "--algo", "pagerank-power", "--power-iterations", "5",
+            "--out", str(tmp_path / "profile.json"),
+        )
+        assert code == 0
+        assert "host prefetch" in out
+        doc = json.loads((tmp_path / "profile.json").read_text())
+        assert doc["prefetch"]["hits"] + doc["prefetch"]["faults"] > 0
+
+
 class TestTrace:
     def test_writes_consistent_chrome_trace(self, tmp_path, capsys):
         out_path = tmp_path / "trace.json"
