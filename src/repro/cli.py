@@ -79,11 +79,23 @@ ALGORITHMS = {
 
 def _fastpath_options(args) -> dict:
     """GraphReduceOptions kwargs from the host fast-path toggles."""
-    return {
+    backend = args.parallel_backend
+    workers = args.workers if args.workers is not None else args.parallel_shards
+    if backend == "serial":
+        workers = 0
+    elif workers <= 0:
+        # A parallel backend was requested without a worker count.
+        workers = 2 if backend == "processes" else 0
+    opts = {
         "dense_fast_path": not args.no_dense_path,
         "plan_cache": not args.no_plan_cache,
-        "parallel_shards": args.parallel_shards,
+        "parallel_shards": workers,
+        "parallel_backend": backend,
     }
+    if args.plan_cache_budget is not None:
+        # 0 means unbounded (the pre-budget behavior); otherwise bytes.
+        opts["plan_cache_budget"] = args.plan_cache_budget or None
+    return opts
 
 
 def load_graph(spec: str) -> EdgeList:
@@ -425,6 +437,7 @@ def cmd_bench_wallclock(args) -> int:
 
     fresh = bench.run_wallclock_suite(
         repeats=args.repeats,
+        warmup=args.warmup,
         shard_store=args.shard_store,
         memory_budget=args.memory_budget,
     )
@@ -533,7 +546,24 @@ def _add_fastpath_args(p) -> None:
                    help="disable the gather/scatter plan cache")
     p.add_argument(
         "--parallel-shards", type=int, default=0,
-        help="thread-pool workers for parallel shard compute (0 = off; bsp only)",
+        help="workers for parallel shard compute (0 = off; bsp only)",
+    )
+    p.add_argument(
+        "--parallel-backend", choices=("serial", "threads", "processes"),
+        default="threads",
+        help="how parallel shard workers execute: GIL-releasing threads "
+             "(default) or a spawn-safe process pool attaching the shard "
+             "arrays zero-copy; 'serial' disables shard parallelism",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="alias for --parallel-shards (with --parallel-backend "
+             "processes, defaults to 2 when neither is given)",
+    )
+    p.add_argument(
+        "--plan-cache-budget", type=int, default=None,
+        help="LRU byte budget for the gather/scatter plan cache "
+             "(default 256 MiB; 0 = unbounded)",
     )
 
 
@@ -691,6 +721,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wall_p.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions per configuration (best-of)")
+    wall_p.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup runs per configuration before "
+                             "the timed repetitions")
     wall_p.add_argument("--out", default=None,
                         help="also write the fresh measurements here (CI artifact)")
     wall_p.add_argument("--update", action="store_true",

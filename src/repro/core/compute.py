@@ -171,7 +171,7 @@ class ComputeEngine:
             self.ctx, plan.row_ids, np.take(self.vertex_values, plan.row_ids), plan.weights, states
         )
         if self.edge_state is not None:
-            self.edge_state[plan.eids] = new_states
+            self._write_edge_state(plan.eids, new_states)
         return WorkItems(edge_items=n_edges)
 
     def _frontier_activate(self, shard: Shard, count_full: bool) -> WorkItems:
@@ -217,9 +217,21 @@ class ComputeEngine:
                 f"of shape {changed.shape}; expected {rows.shape}"
             )
         out = np.asarray(new_vals).astype(self.program.vertex_dtype, copy=False)
+        self._write_vertex_values(shard, rows, dense, out)
+        self.frontier.mark_changed(rows[changed])
+        return WorkItems(vertex_items=n_vert)
+
+    # ------------------------------------------------------------------
+    # Mutable-state write points. The process-pool worker engine
+    # overrides these two hooks to *capture* writes as deltas instead of
+    # applying them -- the main process replays the captured deltas in
+    # shard order, so parallel workers never race on shared state.
+    # ------------------------------------------------------------------
+    def _write_vertex_values(self, shard: Shard, rows, dense: bool, out) -> None:
         if dense:
             self.vertex_values[shard.start : shard.stop] = out
         else:
             self.vertex_values[rows] = out
-        self.frontier.mark_changed(rows[changed])
-        return WorkItems(vertex_items=n_vert)
+
+    def _write_edge_state(self, eids, new_states) -> None:
+        self.edge_state[eids] = new_states

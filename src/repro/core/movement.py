@@ -264,6 +264,17 @@ class HostPrefetcher:
                 self.on_evict(old)
 
     # -- lifecycle / reporting -----------------------------------------
+    def __enter__(self) -> "HostPrefetcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Context-manager form of shutdown(): guarantees the warming
+        # threads die even when an iteration raises mid-run (the
+        # runtime's try/finally uses shutdown() directly; this is for
+        # ad-hoc callers).
+        self.shutdown()
+        return False
+
     def shutdown(self) -> None:
         if self._pool is not None:
             for fut in list(self._futures.values()):

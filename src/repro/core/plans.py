@@ -42,6 +42,7 @@ without going through the FrontierManager update methods must call
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -177,6 +178,22 @@ class _RowsEntry:
         self.epoch = epoch
 
 
+def _plan_nbytes(plan) -> int:
+    """Bytes a cached plan *references* (owned or aliased).
+
+    Dense plans alias the shard's CSR/CSC arrays by reference, and that
+    is exactly the point of counting them: the budget bounds what the
+    cache can keep pinned (for memmapped shards, the mapped pages), so
+    aliased bytes must weigh the same as owned ones.
+    """
+    total = 0
+    for name in ("rows", "indices", "eids", "weights", "row_ids", "starts", "verts", "targets"):
+        arr = getattr(plan, name, None)
+        if arr is not None and hasattr(arr, "nbytes"):
+            total += arr.nbytes
+    return total
+
+
 class PlanCache:
     """Per-shard index-plan memoization over one frontier's epochs.
 
@@ -199,21 +216,37 @@ class PlanCache:
         obs=None,
         dense: bool = True,
         cache: bool = True,
+        budget: int | None = None,
     ):
         self.sharded = sharded
         self.frontier = frontier
         self.obs = obs if obs is not None else NULL_OBSERVER
         self.dense_enabled = dense
         self.cache_enabled = cache
+        #: LRU byte budget over the cached plans (see :func:`_plan_nbytes`
+        #: for what counts). None -> unbounded, the pre-budget behavior.
+        #: The canonical row sets (``_rows``) and the tiny dense-vid
+        #: aranges are frontier state, not plan storage, and stay exempt.
+        self.budget = budget
         self._rows: dict[str, dict[int, _RowsEntry]] = {"active": {}, "changed": {}}
         self._gather: dict[int, GatherPlan] = {}
         self._out: dict[int, OutPlan] = {}
         self._dense_gather: dict[int, GatherPlan] = {}
         self._dense_out: dict[int, OutPlan] = {}
         self._dense_vids: dict[int, np.ndarray] = {}
+        self._stores = {
+            "gather": self._gather,
+            "out": self._out,
+            "dense_gather": self._dense_gather,
+            "dense_out": self._dense_out,
+        }
+        #: (kind, shard index) -> plan bytes, in least-recently-used order
+        self._lru: OrderedDict[tuple[str, int], int] = OrderedDict()
+        self._held_bytes = 0
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
         self._lock = threading.Lock()
 
     @property
@@ -223,13 +256,52 @@ class PlanCache:
     def stats(self) -> dict:
         with self._lock:
             hits, misses, inv = self.hits, self.misses, self.invalidations
+            evictions, held = self.evictions, self._held_bytes
         total = hits + misses
         return {
             "hits": hits,
             "misses": misses,
             "invalidations": inv,
             "hit_rate": hits / total if total else 0.0,
+            "evictions": evictions,
+            "budget_bytes": self.budget,
+            "held_bytes": held,
         }
+
+    # ------------------------------------------------------------------
+    # LRU byte accounting (no-ops when ``budget`` is None)
+    # ------------------------------------------------------------------
+    def _account(self, kind: str, index: int, plan) -> None:
+        """Charge a freshly stored plan and evict over-budget entries."""
+        if self.budget is None:
+            return
+        evicted: list[tuple[str, int]] = []
+        with self._lock:
+            key = (kind, index)
+            self._held_bytes -= self._lru.pop(key, 0)
+            size = _plan_nbytes(plan)
+            self._lru[key] = size
+            self._held_bytes += size
+            # Never evict the entry just stored: the caller holds it.
+            while self._held_bytes > self.budget and len(self._lru) > 1:
+                old_key, old_size = next(iter(self._lru.items()))
+                if old_key == key:
+                    break
+                del self._lru[old_key]
+                self._held_bytes -= old_size
+                self.evictions += 1
+                evicted.append(old_key)
+        for old_kind, old_index in evicted:
+            self._stores[old_kind].pop(old_index, None)
+            self.obs.add("plans.evictions")
+
+    def _touch(self, kind: str, index: int) -> None:
+        if self.budget is None:
+            return
+        with self._lock:
+            key = (kind, index)
+            if key in self._lru:
+                self._lru.move_to_end(key)
 
     # ------------------------------------------------------------------
     def _record(self, hit: bool, invalidated: bool = False) -> None:
@@ -299,18 +371,22 @@ class PlanCache:
             if plan is None:
                 plan = _build_gather_plan(shard, None, dense=True, epoch=epoch)
                 self._dense_gather[shard.index] = plan
+                self._account("dense_gather", shard.index, plan)
                 self._record(hit=False)
             else:
+                self._touch("dense_gather", shard.index)
                 self._record(hit=True)
             return plan
         cached = self._gather.get(shard.index) if self.cache_enabled else None
         if cached is not None and fresh and cached.rows is rows:
             cached.epoch = epoch
+            self._touch("gather", shard.index)
             self._record(hit=True)
             return cached
         plan = _build_gather_plan(shard, rows, dense=False, epoch=epoch)
         if self.cache_enabled:
             self._gather[shard.index] = plan
+            self._account("gather", shard.index, plan)
         self._record(hit=False, invalidated=cached is not None)
         return plan
 
@@ -333,8 +409,10 @@ class PlanCache:
                     num_vertices=self.sharded.num_vertices,
                 )
                 self._dense_out[shard.index] = plan
+                self._account("dense_out", shard.index, plan)
                 self._record(hit=False)
             else:
+                self._touch("dense_out", shard.index)
                 self._record(hit=True)
             return plan
         cached = self._out.get(shard.index) if self.cache_enabled else None
@@ -345,11 +423,13 @@ class PlanCache:
             and (cached.full or not full)
         ):
             cached.epoch = epoch
+            self._touch("out", shard.index)
             self._record(hit=True)
             return cached
         plan = _build_out_plan(shard, rows, dense=False, epoch=epoch, full=full)
         if self.cache_enabled:
             self._out[shard.index] = plan
+            self._account("out", shard.index, plan)
         self._record(hit=False, invalidated=cached is not None)
         return plan
 
@@ -370,6 +450,12 @@ class PlanCache:
         """
         for store in (self._gather, self._out, self._dense_gather, self._dense_out):
             store.pop(index, None)
+        if self.budget is not None:
+            with self._lock:
+                for kind in self._stores:
+                    size = self._lru.pop((kind, index), None)
+                    if size is not None:
+                        self._held_bytes -= size
 
     def active_rows(self, shard: Shard):
         """(rows, dense) for the apply phase.

@@ -1,0 +1,710 @@
+"""Process-parallel shard compute with zero-copy shared arrays.
+
+The ``--parallel-shards`` thread path scales poorly for the NumPy-light
+phases (gatherReduce, apply, frontier activation) because the workers
+serialize on the GIL between kernels. This module provides the
+``processes`` backend: a persistent, spawn-safe ``multiprocessing``
+worker pool in which every worker holds a **zero-copy** view of the
+shard CSC/CSR sub-arrays --
+
+* in-RAM runs export the shard arrays once into a read-only
+  ``multiprocessing.shared_memory`` segment that each worker maps, and
+* shard-store runs let each worker ``np.memmap`` its own shards straight
+  from the :class:`~repro.core.shardstore.ShardStore` (the OS page cache
+  dedupes the physical pages between workers, so nobody double-faults a
+  shard another worker already paged in).
+
+Determinism is preserved by construction, not by luck: workers never
+write shared state. Each task runs the phase kernels against a
+*published snapshot* of the mutable arrays (vertex values, frontier
+masks, edge state) and returns only **deltas** -- per-interval
+``vertex_update_array`` slices, changed-row ids, packed frontier target
+bitmaps, scattered edge-state writes -- through a result queue. The main
+process replays those deltas in the fixed shard order the serial path
+uses, so vertex values, frontier history, observer counters and the
+simulated timeline are bit-identical to serial execution.
+
+Shards are pinned to workers (``shard.index % num_workers``) so the
+worker-local ``gather_temp`` scratch keeps exactly the stale values the
+serial engine would hold, and the parked gatherMap output of the
+unfused plan is popped by the same worker's gatherReduce.
+
+Crash safety: if a worker dies (or a task raises, or times out), the
+pool raises :class:`WorkerCrashed`; the runtime catches it, emits a
+``RuntimeWarning`` and re-runs the whole computation serially -- the
+run is deterministic, so the fallback result is identical to what the
+pool would have produced. All shared-memory segments are unlinked by
+the owning (main) process on shutdown, crash or not.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import traceback
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.compute import ComputeEngine, WorkItems
+from repro.core.plans import PlanCache
+from repro.graph.csr import CSR
+from repro.obs.span import NULL_OBSERVER
+
+#: Set in pool workers (to the worker id) before any task runs; lets
+#: test programs detect they are executing inside a pool worker.
+ENV_WORKER_FLAG = "REPRO_POOL_WORKER"
+
+_STOP = "stop"
+_TASK = "task"
+
+#: /dev/shm segments are named with this prefix so tests can assert
+#: none leak.
+SHM_PREFIX = "repro_pool"
+
+_shm_seq = 0
+
+
+class WorkerCrashed(RuntimeError):
+    """A pool worker died, raised, or timed out; callers fall back to
+    serial execution (deterministic, so results are unchanged)."""
+
+
+# ----------------------------------------------------------------------
+# Shared-memory packing
+# ----------------------------------------------------------------------
+def _pack_layout(arrays: dict) -> tuple[int, dict]:
+    """(total bytes, name -> (offset, shape, dtype str)) for one segment."""
+    toc = {}
+    offset = 0
+    for name, arr in arrays.items():
+        offset = (offset + 63) & ~63  # cache-line align each sub-array
+        toc[name] = (offset, tuple(arr.shape), arr.dtype.str)
+        offset += arr.nbytes
+    return max(offset, 1), toc
+
+
+def _create_segment(arrays: dict, tag: str):
+    """Export ``arrays`` into one named shared-memory segment."""
+    from multiprocessing import shared_memory
+
+    global _shm_seq
+    size, toc = _pack_layout(arrays)
+    while True:
+        _shm_seq += 1
+        name = f"{SHM_PREFIX}_{os.getpid()}_{_shm_seq}_{tag}"
+        try:
+            shm = shared_memory.SharedMemory(create=True, name=name, size=size)
+            break
+        except FileExistsError:  # pragma: no cover - stale name collision
+            continue
+    for name_, arr in arrays.items():
+        off, shape, dt = toc[name_]
+        view = np.ndarray(shape, dtype=np.dtype(dt), buffer=shm.buf, offset=off)
+        view[...] = arr
+    return shm, toc
+
+
+def _attach_segment(name: str):
+    # Spawned workers inherit the main process's resource-tracker, so
+    # the attach-side register is an idempotent set-add against the
+    # create-side one; the single unregister happens in the owner's
+    # ``unlink()`` at shutdown. (Python 3.13 adds ``track=False``; with
+    # a shared tracker the default tracking is already correct.)
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _segment_views(shm, toc: dict, writable: bool) -> dict:
+    views = {}
+    for name, (off, shape, dt) in toc.items():
+        view = np.ndarray(tuple(shape), dtype=np.dtype(dt), buffer=shm.buf, offset=off)
+        if not writable:
+            view.flags.writeable = False
+        views[name] = view
+    return views
+
+
+# ----------------------------------------------------------------------
+# Worker-side shims
+# ----------------------------------------------------------------------
+class _WorkerFrontier:
+    """Frontier facade over the published snapshot masks.
+
+    Read queries serve the shm snapshot; mutations are *captured* as
+    replay deltas instead of applied. The one read-after-write the
+    serial engine relies on -- a fused ``apply``+``frontier_activate``
+    group reading the changed rows its own apply just marked -- is
+    honored through a task-local overlay copy of the changed mask.
+    """
+
+    def __init__(self, num_partitions: int, current, changed):
+        self._shm_current = current
+        self._shm_changed = changed
+        # Per-shard plan epochs. Main-sent epochs are >= 0; local bumps
+        # (mark_changed inside a task) come from a strictly negative,
+        # monotonically decreasing namespace so a stale local epoch can
+        # never collide with a later main-sent value -- the plan cache
+        # then revalidates via the dense check / array_equal path.
+        self.active_epochs = np.zeros(num_partitions, dtype=np.int64)
+        self.changed_epochs = np.zeros(num_partitions, dtype=np.int64)
+        self._local_changed = None
+        self._local_epoch = -1
+        self.deltas: list | None = None
+
+    @property
+    def current(self):
+        return self._shm_current
+
+    @property
+    def changed(self):
+        return self._local_changed if self._local_changed is not None else self._shm_changed
+
+    def begin_sync(self) -> None:
+        """A new snapshot was published: drop the task-local overlay."""
+        self._local_changed = None
+
+    def begin_task(self, shard_index: int, active_epoch: int, changed_epoch: int) -> None:
+        self.active_epochs[shard_index] = active_epoch
+        self.changed_epochs[shard_index] = changed_epoch
+
+    # -- mask queries used by the plan cache ---------------------------
+    def active_in(self, start: int, stop: int) -> np.ndarray:
+        return start + np.flatnonzero(self.current[start:stop])
+
+    def changed_in(self, start: int, stop: int) -> np.ndarray:
+        return start + np.flatnonzero(self.changed[start:stop])
+
+    def dense_active_in(self, start: int, stop: int) -> bool:
+        return bool(self.current[start:stop].all())
+
+    def dense_changed_in(self, start: int, stop: int) -> bool:
+        return bool(self.changed[start:stop].all())
+
+    # -- captured mutations --------------------------------------------
+    def mark_changed(self, vids: np.ndarray) -> None:
+        self.deltas.append(("mc", vids))
+        if len(vids):
+            if self._local_changed is None:
+                self._local_changed = self._shm_changed.copy()
+            self._local_changed[vids] = True
+            self.changed_epochs[:] = self._local_epoch
+            self._local_epoch -= 1
+
+    def activate_next(self, vids: np.ndarray, count: int | None = None) -> None:
+        self.deltas.append(("an", vids, count))
+
+    def activate_next_mask(self, mask: np.ndarray, count: int) -> None:
+        # packbits shrinks the V-bool target mask 8x for the IPC hop;
+        # the main process unpacks and ORs it in, same as serial.
+        self.deltas.append(("am", np.packbits(mask), count))
+
+
+class _WorkerEngine(ComputeEngine):
+    """Compute engine whose mutable-state writes become deltas.
+
+    ``vertex_values``/``edge_state`` are read-only views of the
+    published snapshot; ``gather_temp``/``gather_has`` are worker-local
+    (correct under shard pinning: only this worker's shards ever read
+    or write its intervals, mirroring the serial engine's buffer).
+    """
+
+    def __init__(self, program, ctx, frontier, plans, vertex_values, edge_state):
+        self.sharded = None
+        self.program = program
+        self.ctx = ctx
+        self.frontier = frontier
+        self.obs = NULL_OBSERVER
+        self.plans = plans
+        self.vertex_values = vertex_values
+        n = len(vertex_values)
+        self.gather_temp = np.full(n, program.gather_identity, dtype=program.gather_dtype)
+        self.gather_has = np.zeros(n, dtype=bool)
+        self.edge_state = edge_state
+        self.iteration = 0
+        self._pending = {}
+        self.deltas: list | None = None
+
+    def _write_vertex_values(self, shard, rows, dense, out):
+        if dense:
+            self.deltas.append(("vd", shard.start, shard.stop, out))
+        else:
+            self.deltas.append(("vr", rows, out))
+
+    def _write_edge_state(self, eids, new_states):
+        self.deltas.append(("es", eids, np.asarray(new_states)))
+
+
+class _SharedContext:
+    """RuntimeContext stand-in backed by exported degree arrays."""
+
+    def __init__(self, num_vertices, num_edges, out_degrees, in_degrees):
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self.out_degrees = out_degrees
+        self.in_degrees = in_degrees
+
+
+class _WorkerSharded:
+    """Just enough of a ShardedGraph for the worker's plan cache."""
+
+    def __init__(self, num_vertices, boundaries, shards):
+        self.num_vertices = num_vertices
+        self.boundaries = boundaries
+        self.shards = shards
+        self.num_partitions = len(shards)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+class _WorkerRunner:
+    def __init__(self, spec, segments: list):
+        from repro.core.partition import Shard
+
+        self.worker_id = spec["worker_id"]
+        self.t0 = spec["t0"]
+        num_vertices = spec["num_vertices"]
+        mode = spec["graph"][0]
+        if mode == "shm":
+            _, seg_name, toc = spec["graph"]
+            shm = _attach_segment(seg_name)
+            segments.append(shm)
+            views = _segment_views(shm, toc, writable=False)
+            shards = []
+            for index, start, stop, _num_in, _num_out in spec["shards"]:
+                pre = f"s{index}."
+                shards.append(
+                    Shard(
+                        index=index,
+                        start=start,
+                        stop=stop,
+                        csc=CSR(
+                            views[pre + "csc.indptr"],
+                            views[pre + "csc.indices"],
+                            views[pre + "csc.edge_ids"],
+                        ),
+                        csr=CSR(
+                            views[pre + "csr.indptr"],
+                            views[pre + "csr.indices"],
+                            views[pre + "csr.edge_ids"],
+                        ),
+                        csc_weights=views.get(pre + "csc.weights"),
+                        csr_weights=views.get(pre + "csr.weights"),
+                    )
+                )
+            ctx = _SharedContext(
+                num_vertices,
+                spec["num_edges"],
+                views["out_degrees"],
+                views["in_degrees"],
+            )
+        else:
+            from repro.core.runtime import RuntimeContext
+            from repro.core.shardstore import ShardStore
+
+            _, path, unit_weights = spec["graph"]
+            store = ShardStore.open(path)
+            # Each worker memmaps its *own* pinned shards on first
+            # touch; the page cache shares the physical pages, so
+            # workers never re-read a shard another already faulted.
+            shards = store.sharded_graph(unit_weights=unit_weights).shards
+            ctx = RuntimeContext(store.edgelist())
+        state_name, state_toc = spec["state"]
+        state_shm = _attach_segment(state_name)
+        segments.append(state_shm)
+        state = _segment_views(state_shm, state_toc, writable=False)
+
+        self.shards = {s.index: s for s in shards}
+        self.frontier = _WorkerFrontier(len(shards), state["current"], state["changed"])
+        sharded = _WorkerSharded(num_vertices, spec["boundaries"], shards)
+        self.plans = PlanCache(
+            sharded,
+            self.frontier,
+            dense=spec["dense"],
+            cache=spec["cache"],
+            budget=spec["plan_budget"],
+        )
+        self.engine = _WorkerEngine(
+            spec["program"],
+            ctx,
+            self.frontier,
+            self.plans,
+            state["vertex_values"],
+            state.get("edge_state"),
+        )
+        self._sync_id = -1
+        self._iteration_seen = False
+
+    def run_task(self, msg):
+        _, sync_id, iteration, phases, shard_index, count_full, a_epoch, c_epoch = msg
+        t_start = perf_counter() - self.t0
+        if sync_id != self._sync_id:
+            self._sync_id = sync_id
+            self.frontier.begin_sync()
+        self.frontier.begin_task(shard_index, a_epoch, c_epoch)
+        if not self._iteration_seen or iteration != self.engine.iteration:
+            self.engine.begin_iteration(iteration)
+            self._iteration_seen = True
+        deltas: list = []
+        self.engine.deltas = deltas
+        self.frontier.deltas = deltas
+        shard = self.shards[shard_index]
+        per_phase = []
+        for phase in phases:
+            w = getattr(self.engine, "_" + phase)(shard, count_full)
+            per_phase.append((phase, w.edge_items, w.vertex_items))
+        t_end = perf_counter() - self.t0
+        return ("ok", shard_index, self.worker_id, per_phase, deltas, t_start, t_end)
+
+
+def _worker_main(spec, task_q, result_q):  # pragma: no cover - child process
+    os.environ[ENV_WORKER_FLAG] = str(spec["worker_id"])
+    segments: list = []
+    try:
+        runner = _WorkerRunner(spec, segments)
+    except Exception:
+        result_q.put(("init_error", spec["worker_id"], traceback.format_exc()))
+        return
+    result_q.put(("ready", spec["worker_id"]))
+    try:
+        while True:
+            msg = task_q.get()
+            if msg[0] == _STOP:
+                break
+            try:
+                result_q.put(runner.run_task(msg))
+            except Exception:
+                result_q.put(
+                    ("task_error", msg[4], spec["worker_id"], traceback.format_exc())
+                )
+    finally:
+        result_q.put(("bye", spec["worker_id"], runner.plans.stats()))
+        for shm in segments:
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Main-process pool
+# ----------------------------------------------------------------------
+class ProcessPool:
+    """Persistent spawn-based worker pool for one GraphReduce run.
+
+    Construction exports the graph (in-RAM runs) and the mutable-state
+    snapshot buffer to shared memory, spawns the workers and waits for
+    their attach handshake. :meth:`phase_run` publishes the current
+    state, fans one phase group's shard tasks out to the pinned workers
+    and returns a per-shard collector the Data Movement Engine calls in
+    shard order -- which is where the deltas are replayed, keeping the
+    merge deterministic. :meth:`shutdown` (idempotent, always called
+    from the runtime's ``finally``) stops the workers and closes +
+    unlinks every segment, so nothing survives in ``/dev/shm`` on
+    normal exit or crash.
+    """
+
+    def __init__(
+        self,
+        *,
+        sharded,
+        program,
+        ctx,
+        frontier,
+        compute,
+        obs=None,
+        workers: int,
+        dense: bool,
+        cache: bool,
+        plan_budget: int | None = None,
+        store=None,
+        unit_weights: bool = False,
+        task_timeout: float = 300.0,
+    ):
+        import multiprocessing as mp
+
+        self._frontier = frontier
+        self._compute = compute
+        self._obs = obs if obs is not None else NULL_OBSERVER
+        self._num_vertices = sharded.num_vertices
+        self.num_workers = max(1, min(int(workers), sharded.num_partitions))
+        self.task_timeout = task_timeout
+        self.tasks = 0
+        self.max_inflight = 0
+        self.publish_seconds = 0.0
+        self.wait_seconds = 0.0
+        self.lane: list[tuple] = []
+        self.worker_plan_stats: list[dict] = []
+        self._segments: list = []
+        self._procs: list = []
+        self._task_qs: list = []
+        self._closed = False
+        self._sync_id = 0
+        self._t0 = perf_counter()
+
+        try:
+            self._start(mp, sharded, program, ctx, store, unit_weights, dense, cache, plan_budget)
+        except WorkerCrashed:
+            self.shutdown()
+            raise
+        except Exception as exc:
+            self.shutdown()
+            raise WorkerCrashed(f"pool startup failed: {exc!r}") from exc
+
+    # ------------------------------------------------------------------
+    def _start(self, mp, sharded, program, ctx, store, unit_weights, dense, cache, plan_budget):
+        spawn = mp.get_context("spawn")
+        shard_manifest = [
+            (s.index, s.start, s.stop, s.num_in_edges, s.num_out_edges)
+            for s in sharded.shards
+        ]
+        if store is not None:
+            graph_spec = ("store", str(store.path), bool(unit_weights))
+        else:
+            arrays = {
+                "out_degrees": np.asarray(ctx.out_degrees),
+                "in_degrees": np.asarray(ctx.in_degrees),
+            }
+            for s in sharded.shards:
+                pre = f"s{s.index}."
+                arrays[pre + "csc.indptr"] = s.csc.indptr
+                arrays[pre + "csc.indices"] = s.csc.indices
+                arrays[pre + "csc.edge_ids"] = s.csc.edge_ids
+                arrays[pre + "csr.indptr"] = s.csr.indptr
+                arrays[pre + "csr.indices"] = s.csr.indices
+                arrays[pre + "csr.edge_ids"] = s.csr.edge_ids
+                if s.csc_weights is not None:
+                    arrays[pre + "csc.weights"] = s.csc_weights
+                if s.csr_weights is not None:
+                    arrays[pre + "csr.weights"] = s.csr_weights
+            graph_shm, graph_toc = _create_segment(arrays, "graph")
+            self._segments.append(graph_shm)
+            graph_spec = ("shm", graph_shm.name, graph_toc)
+
+        state_arrays = {
+            "vertex_values": self._compute.vertex_values,
+            "current": self._frontier.current,
+            "changed": self._frontier.changed,
+        }
+        if self._compute.edge_state is not None:
+            state_arrays["edge_state"] = self._compute.edge_state
+        state_shm, state_toc = _create_segment(state_arrays, "state")
+        self._segments.append(state_shm)
+        self._state_views = _segment_views(state_shm, state_toc, writable=True)
+
+        spec_base = {
+            "t0": self._t0,
+            "program": program,
+            "num_vertices": sharded.num_vertices,
+            "num_edges": getattr(ctx, "num_edges", 0),
+            "boundaries": np.asarray(sharded.boundaries),
+            "shards": shard_manifest,
+            "graph": graph_spec,
+            "state": (state_shm.name, state_toc),
+            "dense": dense,
+            "cache": cache,
+            "plan_budget": plan_budget,
+        }
+        self._result_q = spawn.Queue()
+        for w in range(self.num_workers):
+            task_q = spawn.SimpleQueue()
+            spec = dict(spec_base, worker_id=w)
+            proc = spawn.Process(
+                target=_worker_main,
+                args=(spec, task_q, self._result_q),
+                name=f"repro-pool-{w}",
+                daemon=True,
+            )
+            proc.start()
+            self._task_qs.append(task_q)
+            self._procs.append(proc)
+        self._await_ready()
+
+    def _await_ready(self) -> None:
+        ready = 0
+        deadline = perf_counter() + 120.0
+        while ready < self.num_workers:
+            try:
+                msg = self._result_q.get(timeout=0.2)
+            except queue.Empty:
+                self._check_alive()
+                if perf_counter() > deadline:
+                    raise WorkerCrashed("pool workers did not finish attaching in time")
+                continue
+            if msg[0] == "ready":
+                ready += 1
+            elif msg[0] == "init_error":
+                raise WorkerCrashed(f"worker {msg[1]} failed to attach:\n{msg[2]}")
+
+    def _check_alive(self) -> None:
+        for w, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                raise WorkerCrashed(f"worker {w} died (exit code {proc.exitcode})")
+
+    # ------------------------------------------------------------------
+    def _publish(self) -> None:
+        """Copy the mutable state into the snapshot segment.
+
+        Called between phase groups, when every worker is idle (the
+        previous group's results were all consumed), so the write is
+        race-free by construction.
+        """
+        t0 = perf_counter()
+        views = self._state_views
+        views["vertex_values"][...] = self._compute.vertex_values
+        views["current"][...] = self._frontier.current
+        views["changed"][...] = self._frontier.changed
+        if self._compute.edge_state is not None:
+            views["edge_state"][...] = self._compute.edge_state
+        self.publish_seconds += perf_counter() - t0
+
+    def phase_run(self, group, shards, iteration: int, count_full: bool):
+        """Publish + dispatch one phase group; returns the collector.
+
+        The returned callable is handed to ``DataMovementEngine.
+        run_phase`` as the per-shard compute function: it blocks for
+        that shard's result and replays its deltas. ``run_phase``
+        consumes shards in their original order, so the replay -- and
+        with it every frontier/vertex write and observer count -- lands
+        in exactly the serial order.
+        """
+        self._publish()
+        self._sync_id += 1
+        fr = self._frontier
+        for shard in shards:
+            self._task_qs[shard.index % self.num_workers].put(
+                (
+                    _TASK,
+                    self._sync_id,
+                    iteration,
+                    tuple(group.phases),
+                    shard.index,
+                    count_full,
+                    int(fr.active_epochs[shard.index]),
+                    int(fr.changed_epochs[shard.index]),
+                )
+            )
+        self.tasks += len(shards)
+        self.max_inflight = max(self.max_inflight, len(shards))
+        self._obs.add("procpool.tasks", len(shards))
+        pending: dict[int, tuple] = {}
+
+        def collect(shard):
+            payload = self._await_result(shard.index, pending)
+            return self._replay(payload)
+
+        return collect
+
+    def _await_result(self, index: int, pending: dict) -> tuple:
+        t0 = perf_counter()
+        deadline = t0 + self.task_timeout
+        while index not in pending:
+            try:
+                msg = self._result_q.get(timeout=0.1)
+            except queue.Empty:
+                self._check_alive()
+                if perf_counter() > deadline:
+                    raise WorkerCrashed(f"timed out waiting for shard {index}")
+                continue
+            kind = msg[0]
+            if kind == "ok":
+                pending[msg[1]] = msg
+            elif kind == "task_error":
+                raise WorkerCrashed(f"worker {msg[2]} raised on shard {msg[1]}:\n{msg[3]}")
+            # "ready"/"bye" stragglers are ignored
+        self.wait_seconds += perf_counter() - t0
+        return pending.pop(index)
+
+    def _replay(self, payload: tuple) -> WorkItems:
+        _, shard_index, worker_id, per_phase, deltas, t_start, t_end = payload
+        obs = self._obs
+        compute = self._compute
+        frontier = self._frontier
+        work = WorkItems()
+        record = obs.enabled
+        for phase, edge_items, vertex_items in per_phase:
+            if record:
+                obs.add(f"compute.{phase}.edge_items", edge_items)
+                obs.add(f"compute.{phase}.vertex_items", vertex_items)
+            work.edge_items += edge_items
+            work.vertex_items += vertex_items
+        for d in deltas:
+            kind = d[0]
+            if kind == "vd":
+                compute.vertex_values[d[1] : d[2]] = d[3]
+            elif kind == "vr":
+                compute.vertex_values[d[1]] = d[2]
+            elif kind == "mc":
+                frontier.mark_changed(d[1])
+            elif kind == "an":
+                frontier.activate_next(d[1], count=d[2])
+            elif kind == "am":
+                mask = np.unpackbits(d[1], count=self._num_vertices).view(bool)
+                frontier.activate_next_mask(mask, count=d[2])
+            elif kind == "es":
+                compute.edge_state[d[1]] = d[2]
+        self.lane.append((worker_id, shard_index, t_start, t_end))
+        return work
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for task_q in self._task_qs:
+            try:
+                task_q.put((_STOP,))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        # Best-effort: collect the workers' parting plan-cache stats.
+        while True:
+            try:
+                msg = self._result_q.get_nowait()
+            except Exception:
+                break
+            if msg[0] == "bye":
+                self.worker_plan_stats.append(msg[2])
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        try:
+            self._result_q.close()
+        except Exception:
+            pass
+        for shm in self._segments:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+        self._segments = []
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Totals + wall-clock lane for the profiler and Chrome trace."""
+        plans = None
+        if self.worker_plan_stats:
+            plans = {
+                key: sum(s.get(key, 0) for s in self.worker_plan_stats)
+                for key in ("hits", "misses", "invalidations", "evictions")
+            }
+            total = plans["hits"] + plans["misses"]
+            plans["hit_rate"] = plans["hits"] / total if total else 0.0
+        return {
+            "backend": "processes",
+            "workers": self.num_workers,
+            "tasks": self.tasks,
+            "max_inflight": self.max_inflight,
+            "publish_seconds": self.publish_seconds,
+            "wait_seconds": self.wait_seconds,
+            "plan_cache": plans,
+            "lane": list(self.lane),
+        }

@@ -21,6 +21,7 @@ configuration; the default is everything on.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -92,6 +93,22 @@ class GraphReduceOptions:
     dense_fast_path: bool = True
     plan_cache: bool = True
     parallel_shards: int = 0
+    #: How ``parallel_shards`` workers execute: ``"threads"`` (PR 3's
+    #: ThreadPoolExecutor; NumPy kernels release the GIL), or
+    #: ``"processes"`` (a spawn-safe worker pool attaching the shard
+    #: arrays zero-copy -- shared memory for in-RAM runs, per-worker
+    #: memmaps for shard-store runs -- see :mod:`repro.core.procpool`).
+    #: ``"serial"`` ignores ``parallel_shards`` entirely. Both parallel
+    #: backends are bit-identical to serial: results, frontier history
+    #: and the simulated timeline are merged in fixed shard order. If a
+    #: pool worker crashes or times out mid-run the runtime emits a
+    #: ``RuntimeWarning`` and transparently re-runs serially.
+    parallel_backend: str = "threads"
+    #: LRU byte budget for the gather/scatter plan cache (counts the
+    #: bytes each cached plan references, including dense plans' aliased
+    #: shard arrays -- i.e. what eviction can unpin). ``None`` keeps the
+    #: pre-PR-5 unbounded behavior.
+    plan_cache_budget: int | None = 256 * 1024 * 1024
     #: Out-of-core execution (shard-store-backed runs only; see
     #: :mod:`repro.core.shardstore`). ``memory_budget`` bounds the host
     #: RAM spent on resident shards: the prefetcher's LRU capacity comes
@@ -201,6 +218,9 @@ class GraphReduceResult:
     #: host prefetcher totals + wall-clock activity lane (out-of-core
     #: shard-store runs only; None for in-RAM runs)
     prefetch: dict | None = None
+    #: process-pool totals + per-worker wall-clock lane (``processes``
+    #: backend only; None otherwise)
+    procpool: dict | None = None
 
     @property
     def memcpy_fraction(self) -> float:
@@ -249,6 +269,36 @@ class GraphReduce:
     def run(self, program: GASProgram, max_iterations: int | None = None) -> GraphReduceResult:
         """Execute ``program`` to convergence on the simulated machine."""
         opts = self.options
+        if opts.parallel_backend not in ("serial", "threads", "processes"):
+            raise ValueError(f"unknown parallel_backend {opts.parallel_backend!r}")
+        if (
+            opts.parallel_backend == "processes"
+            and opts.parallel_shards > 1
+            and opts.execution_mode == "bsp"
+        ):
+            from repro.core.procpool import WorkerCrashed
+
+            try:
+                return self._execute(program, max_iterations, opts)
+            except WorkerCrashed as exc:
+                # The run is deterministic, so a clean serial re-run
+                # produces exactly the result the pool would have.
+                warnings.warn(
+                    f"process-pool backend failed ({exc}); falling back to "
+                    "serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return self._execute(
+                    program,
+                    max_iterations,
+                    opts.replace(parallel_backend="serial", parallel_shards=0),
+                )
+        return self._execute(program, max_iterations, opts)
+
+    def _execute(
+        self, program: GASProgram, max_iterations: int | None, opts: GraphReduceOptions
+    ) -> GraphReduceResult:
         program.validate()
         edges = self.edges
         if program.needs_weights and edges.weights is None:
@@ -267,132 +317,174 @@ class GraphReduce:
         with_weights = program.needs_weights
         with_state = program.edge_dtype is not None
         resident_bytes = self._resident_bytes(program, edges.num_vertices)
+        use_pool = (
+            opts.parallel_backend == "processes"
+            and opts.parallel_shards > 1
+            and opts.execution_mode == "bsp"
+        )
         prefetcher = None
-        with obs.span("partition", category="setup") as part_span:
-            if self.shard_store is not None:
-                sharded, prefetcher = self._open_store(
-                    program, opts, with_weights, with_state, resident_bytes, obs
+        executor = None
+        pool = None
+        # One try/finally covers everything from here on: the prefetcher
+        # (and later the executor/pool) own threads, processes and
+        # shared-memory segments that must be released even when setup
+        # or an iteration raises mid-run.
+        try:
+            with obs.span("partition", category="setup") as part_span:
+                if self.shard_store is not None:
+                    sharded, prefetcher = self._open_store(
+                        program,
+                        opts,
+                        with_weights,
+                        with_state,
+                        resident_bytes,
+                        obs,
+                        warm=not use_pool,
+                    )
+                    part_span.set(
+                        num_partitions=sharded.num_partitions,
+                        logic=self.shard_store.logic,
+                        shard_store=str(self.shard_store.path),
+                        prefetch_capacity=prefetcher.capacity,
+                    )
+                else:
+                    p = opts.num_partitions or PartitionEngine.choose_num_partitions(
+                        edges,
+                        self.machine.device.memory_bytes,
+                        with_weights,
+                        with_state,
+                        resident_bytes,
+                    )
+                    key = (p, opts.partition_logic, with_weights, id(edges))
+                    sharded = self._sharded_cache.get(key)
+                    if sharded is None:
+                        sharded = self.partition_engine.partition(edges, p, opts.partition_logic)
+                        self._sharded_cache[key] = sharded
+                    part_span.set(
+                        num_partitions=sharded.num_partitions, logic=opts.partition_logic
+                    )
+
+            device = GPUDevice(sim, self.machine.device, TraceRecorder(enabled=opts.trace))
+            movement = DataMovementEngine(
+                device,
+                sharded,
+                MovementConfig(async_streams=opts.async_streams, spray=opts.spray),
+                with_weights,
+                with_state,
+                obs=obs,
+            )
+            if opts.host_backing == "ssd":
+                from repro.sim.resources import FluidResource
+
+                host = self.machine.host
+                graph_host_bytes = sum(
+                    s.total_bytes(with_weights, with_state) for s in sharded.shards
+                ) + resident_bytes
+                spill = max(0.0, 1.0 - host.memory_bytes / max(graph_host_bytes, 1))
+                ssd = FluidResource(
+                    sim, host.ssd_bandwidth, max_concurrent=host.ssd_queue_depth, name="ssd"
                 )
-                part_span.set(
+                movement.ssd = (ssd, spill)
+            elif opts.host_backing != "dram":
+                raise ValueError(f"unknown host_backing {opts.host_backing!r}")
+            with obs.span("resident", category="phase"):
+                movement.upload_resident(self._resident_buffers(program, edges.num_vertices))
+            in_memory = False
+            with obs.span("cache", category="phase") as cache_span:
+                if opts.cache_policy == "auto":
+                    from repro.graph.properties import footprint_bytes
+
+                    if footprint_bytes(edges) <= self.machine.device.memory_bytes:
+                        in_memory = movement.cache_all_shards()
+                elif opts.cache_policy == "greedy":
+                    in_memory = movement.cache_all_shards()
+                elif opts.cache_policy not in ("never", "lru"):
+                    raise ValueError(f"unknown cache_policy {opts.cache_policy!r}")
+                if not in_memory:
+                    movement.reserve_stage_slots()
+                    if opts.cache_policy == "lru":
+                        movement.enable_lru_cache()
+                # Everything the profiler's Eq. (1)/(2) replay needs to
+                # re-derive K from first principles lives on this span.
+                cache_span.set(
+                    policy=opts.cache_policy,
+                    in_memory=in_memory,
+                    k=movement.k,
+                    async_streams=opts.async_streams,
+                    max_shard_bytes=movement.max_shard_bytes,
+                    interval_bytes=movement.interval_bytes,
+                    resident_bytes=resident_bytes,
+                    device_memory=self.machine.device.memory_bytes,
                     num_partitions=sharded.num_partitions,
-                    logic=self.shard_store.logic,
-                    shard_store=str(self.shard_store.path),
-                    prefetch_capacity=prefetcher.capacity,
+                )
+
+            # --- Compute side ------------------------------------------
+            frontier = FrontierManager(
+                sharded, np.asarray(program.init_frontier(ctx), dtype=bool), obs=obs
+            )
+            plans = PlanCache(
+                sharded,
+                frontier,
+                obs=obs,
+                dense=opts.dense_fast_path,
+                cache=opts.plan_cache,
+                budget=opts.plan_cache_budget,
+            )
+            compute = ComputeEngine(sharded, program, ctx, frontier, obs=obs, plans=plans)
+            if prefetcher is not None:
+                # Dense plans alias the memmapped shard arrays by reference;
+                # eviction must drop them or the mappings stay pinned.
+                prefetcher.on_evict = plans.drop_shard
+            if opts.execution_mode == "async":
+                plan = build_async_plan(program, obs=obs)
+            elif opts.execution_mode == "bsp":
+                plan = build_plan(
+                    program, optimized=opts.fusion, fuse_gather=opts.fuse_gather, obs=obs
                 )
             else:
-                p = opts.num_partitions or PartitionEngine.choose_num_partitions(
-                    edges,
-                    self.machine.device.memory_bytes,
-                    with_weights,
-                    with_state,
-                    resident_bytes,
+                raise ValueError(f"unknown execution_mode {opts.execution_mode!r}")
+            if use_pool:
+                from repro.core.procpool import ProcessPool
+
+                pool = ProcessPool(
+                    sharded=sharded,
+                    program=program,
+                    ctx=ctx,
+                    frontier=frontier,
+                    compute=compute,
+                    obs=obs,
+                    workers=opts.parallel_shards,
+                    dense=opts.dense_fast_path,
+                    cache=opts.plan_cache,
+                    plan_budget=opts.plan_cache_budget,
+                    store=self.shard_store,
+                    unit_weights=(
+                        self.shard_store is not None
+                        and with_weights
+                        and not self.shard_store.weighted
+                    ),
                 )
-                key = (p, opts.partition_logic, with_weights, id(edges))
-                sharded = self._sharded_cache.get(key)
-                if sharded is None:
-                    sharded = self.partition_engine.partition(edges, p, opts.partition_logic)
-                    self._sharded_cache[key] = sharded
-                part_span.set(
-                    num_partitions=sharded.num_partitions, logic=opts.partition_logic
+
+            # --- Iterations --------------------------------------------
+            limit = max_iterations if max_iterations is not None else opts.max_iterations
+            converged = False
+            iteration = 0
+            frontier_bytes = edges.num_vertices // 8 + 1
+            iteration_stats: list[IterationStat] = []
+            if (
+                opts.parallel_shards > 1
+                and opts.execution_mode == "bsp"
+                and opts.parallel_backend == "threads"
+            ):
+                # Shards of one phase are independent in bsp mode and the
+                # heavy NumPy kernels release the GIL; async sweeps are
+                # Gauss-Seidel (later shards read earlier shards' same-sweep
+                # writes) and must stay sequential.
+                from concurrent.futures import ThreadPoolExecutor
+
+                executor = ThreadPoolExecutor(
+                    max_workers=opts.parallel_shards, thread_name_prefix="shard-compute"
                 )
-
-        device = GPUDevice(sim, self.machine.device, TraceRecorder(enabled=opts.trace))
-        movement = DataMovementEngine(
-            device,
-            sharded,
-            MovementConfig(async_streams=opts.async_streams, spray=opts.spray),
-            with_weights,
-            with_state,
-            obs=obs,
-        )
-        if opts.host_backing == "ssd":
-            from repro.sim.resources import FluidResource
-
-            host = self.machine.host
-            graph_host_bytes = sum(
-                s.total_bytes(with_weights, with_state) for s in sharded.shards
-            ) + resident_bytes
-            spill = max(0.0, 1.0 - host.memory_bytes / max(graph_host_bytes, 1))
-            ssd = FluidResource(
-                sim, host.ssd_bandwidth, max_concurrent=host.ssd_queue_depth, name="ssd"
-            )
-            movement.ssd = (ssd, spill)
-        elif opts.host_backing != "dram":
-            raise ValueError(f"unknown host_backing {opts.host_backing!r}")
-        with obs.span("resident", category="phase"):
-            movement.upload_resident(self._resident_buffers(program, edges.num_vertices))
-        in_memory = False
-        with obs.span("cache", category="phase") as cache_span:
-            if opts.cache_policy == "auto":
-                from repro.graph.properties import footprint_bytes
-
-                if footprint_bytes(edges) <= self.machine.device.memory_bytes:
-                    in_memory = movement.cache_all_shards()
-            elif opts.cache_policy == "greedy":
-                in_memory = movement.cache_all_shards()
-            elif opts.cache_policy not in ("never", "lru"):
-                raise ValueError(f"unknown cache_policy {opts.cache_policy!r}")
-            if not in_memory:
-                movement.reserve_stage_slots()
-                if opts.cache_policy == "lru":
-                    movement.enable_lru_cache()
-            # Everything the profiler's Eq. (1)/(2) replay needs to
-            # re-derive K from first principles lives on this span.
-            cache_span.set(
-                policy=opts.cache_policy,
-                in_memory=in_memory,
-                k=movement.k,
-                async_streams=opts.async_streams,
-                max_shard_bytes=movement.max_shard_bytes,
-                interval_bytes=movement.interval_bytes,
-                resident_bytes=resident_bytes,
-                device_memory=self.machine.device.memory_bytes,
-                num_partitions=sharded.num_partitions,
-            )
-
-        # --- Compute side ----------------------------------------------
-        frontier = FrontierManager(
-            sharded, np.asarray(program.init_frontier(ctx), dtype=bool), obs=obs
-        )
-        plans = PlanCache(
-            sharded,
-            frontier,
-            obs=obs,
-            dense=opts.dense_fast_path,
-            cache=opts.plan_cache,
-        )
-        compute = ComputeEngine(sharded, program, ctx, frontier, obs=obs, plans=plans)
-        if prefetcher is not None:
-            # Dense plans alias the memmapped shard arrays by reference;
-            # eviction must drop them or the mappings stay pinned.
-            prefetcher.on_evict = plans.drop_shard
-        if opts.execution_mode == "async":
-            plan = build_async_plan(program, obs=obs)
-        elif opts.execution_mode == "bsp":
-            plan = build_plan(
-                program, optimized=opts.fusion, fuse_gather=opts.fuse_gather, obs=obs
-            )
-        else:
-            raise ValueError(f"unknown execution_mode {opts.execution_mode!r}")
-
-        # --- Iterations -------------------------------------------------
-        limit = max_iterations if max_iterations is not None else opts.max_iterations
-        converged = False
-        iteration = 0
-        frontier_bytes = edges.num_vertices // 8 + 1
-        iteration_stats: list[IterationStat] = []
-        executor = None
-        if opts.parallel_shards > 1 and opts.execution_mode == "bsp":
-            # Shards of one phase are independent in bsp mode and the
-            # heavy NumPy kernels release the GIL; async sweeps are
-            # Gauss-Seidel (later shards read earlier shards' same-sweep
-            # writes) and must stay sequential.
-            from concurrent.futures import ThreadPoolExecutor
-
-            executor = ThreadPoolExecutor(
-                max_workers=opts.parallel_shards, thread_name_prefix="shard-compute"
-            )
-        try:
             while iteration < limit:
                 if program.always_active:
                     frontier.activate_all()
@@ -413,11 +505,19 @@ class GraphReduce:
                 ) as it_span:
                     for group in plan:
                         shards, skipped = self._select_shards(group, sharded, frontier, opts)
-                        if prefetcher is not None:
+                        if prefetcher is not None and pool is None:
                             # Only the frontier-selected shards: skipped
                             # shards are neither prefetched nor faulted.
+                            # (With the process pool the workers memmap
+                            # their own shards; the main process never
+                            # touches the arrays at all.)
                             prefetcher.schedule([s.index for s in shards])
-                        if prefetcher is None:
+                        if pool is not None:
+                            run_shard = pool.phase_run(
+                                group, shards, iteration,
+                                count_full=not opts.frontier_skipping,
+                            )
+                        elif prefetcher is None:
                             run_shard = (
                                 lambda shard, g=group: compute.run_group(
                                     g.phases, shard, count_full=not opts.frontier_skipping
@@ -466,6 +566,8 @@ class GraphReduce:
             else:
                 converged = frontier.size == 0
         finally:
+            if pool is not None:
+                pool.shutdown()
             if executor is not None:
                 executor.shutdown(wait=True)
             if prefetcher is not None:
@@ -479,6 +581,13 @@ class GraphReduce:
             engine_snapshots = device.engine_snapshots()
             if movement.ssd is not None:
                 engine_snapshots["ssd"] = movement.ssd[0].profile_snapshot()
+        pool_snapshot = pool.snapshot() if pool is not None else None
+        if pool_snapshot is not None and pool_snapshot.get("plan_cache"):
+            # The plan caches live in the workers under this backend;
+            # surface their aggregate where tooling expects the stats.
+            plan_cache_stats = pool_snapshot["plan_cache"]
+        else:
+            plan_cache_stats = plans.stats() if plans.enabled else None
         return GraphReduceResult(
             vertex_values=compute.vertex_values,
             iterations=iteration,
@@ -497,12 +606,15 @@ class GraphReduce:
             iteration_stats=iteration_stats,
             observer=obs if opts.observe else None,
             engine_snapshots=engine_snapshots,
-            plan_cache=plans.stats() if plans.enabled else None,
+            plan_cache=plan_cache_stats,
             prefetch=prefetcher.snapshot() if prefetcher is not None else None,
+            procpool=pool_snapshot,
         )
 
     # ------------------------------------------------------------------
-    def _open_store(self, program, opts, with_weights, with_state, resident_bytes, obs):
+    def _open_store(
+        self, program, opts, with_weights, with_state, resident_bytes, obs, warm=True
+    ):
         """Lazy sharded view + budgeted prefetcher over ``shard_store``.
 
         The prefetcher's LRU capacity is Eq. (1)/(2) with the host
@@ -510,6 +622,9 @@ class GraphReduce:
         shards (plus their interval's share of vertex staging and the
         resident vertex arrays) fit the budget. No budget -> every
         shard may stay resident, like a host whose RAM fits the graph.
+        ``warm=False`` (the process-pool backend) spawns no warming
+        threads: the pool's workers memmap their own pinned shards, so
+        main-process prefetching would only double-fault the data.
         """
         store = self.shard_store
         if opts.num_partitions and opts.num_partitions != store.num_partitions:
@@ -533,7 +648,7 @@ class GraphReduce:
         prefetcher = HostPrefetcher(
             store,
             capacity,
-            workers=opts.prefetch_workers if opts.host_prefetch else 0,
+            workers=opts.prefetch_workers if (opts.host_prefetch and warm) else 0,
             obs=obs,
             unit_weights=unit_weights,
         )

@@ -199,6 +199,59 @@ def _ooc_wallclock_case(shard_store=None, memory_budget=None) -> WallclockCase:
     )
 
 
+def _procpool_wallclock_case() -> WallclockCase:
+    """Process pool vs thread pool on GIL-bound per-shard host work.
+
+    Both sides run the same shard-parallel PageRank with the dense fast
+    path and plan cache off, so every shard phase rebuilds its sparse
+    gather/scatter plans -- host work dominated by many small NumPy and
+    Python steps that hold the GIL. Threads serialize on that work; the
+    process pool runs it on independent interpreters against zero-copy
+    shared-memory shard arrays, so the ratio isolates the GIL escape.
+
+    The floor applies only on multi-core hosts: on a single core the
+    pool's publish/IPC overhead has no parallelism to buy it back, so
+    the case records the ratio without gating it.
+    """
+    import os
+
+    from repro.algorithms import PageRank
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
+    from repro.graph.generators import erdos_renyi
+
+    cores = os.cpu_count() or 1
+    workers = max(2, min(4, cores))
+    common = dict(
+        cache_policy="never",
+        num_partitions=8,
+        observe=False,
+        trace=False,
+        dense_fast_path=False,
+        plan_cache=False,
+        parallel_shards=workers,
+    )
+    fast = GraphReduceOptions(**common, parallel_backend="processes")
+    slow = GraphReduceOptions(**common, parallel_backend="threads")
+    metrics = GraphReduceOptions(
+        cache_policy="never",
+        num_partitions=8,
+        dense_fast_path=False,
+        plan_cache=False,
+        parallel_shards=workers,
+        parallel_backend="processes",
+    )
+    edges = erdos_renyi(65_536, 1_000_000, seed=7, name="er-wallclock")
+    return WallclockCase(
+        engines={
+            "fast": GraphReduce(edges, options=fast),
+            "slow": GraphReduce(edges, options=slow),
+        },
+        make_program=lambda: PageRank(tolerance=None, max_iterations=25),
+        metrics_engine=GraphReduce(edges, options=metrics),
+        min_speedup=1.5 if cores >= 2 else 0.0,
+    )
+
+
 def _wallclock_cases(shard_store=None, memory_budget=None) -> dict[str, Callable]:
     """name -> zero-arg factory returning a :class:`WallclockCase`.
 
@@ -251,17 +304,19 @@ def _wallclock_cases(shard_store=None, memory_budget=None) -> dict[str, Callable
         ),
         "bfs_wallclock": fastpath_case(lambda: BFS(source=0), 0.6),
         "ooc_pagerank_wallclock": lambda: _ooc_wallclock_case(shard_store, memory_budget),
+        "procpool_pagerank_wallclock": _procpool_wallclock_case,
     }
 
 
 def run_wallclock_suite(
-    repeats: int = 3, shard_store=None, memory_budget=None
+    repeats: int = 3, warmup: int = 1, shard_store=None, memory_budget=None
 ) -> dict:
     """Measure the host fast paths; returns ``{name: measurement}``.
 
     Each case runs twice per repeat -- fast and slow configurations,
-    interleaved so machine drift cancels out of the ratio -- after one
-    warm-up pass per side, and keeps the best wall time of each side.
+    interleaved so machine drift cancels out of the ratio -- after
+    ``warmup`` untimed passes per side, and keeps the best wall time of
+    each side.
     Both sides must produce bit-identical ``vertex_values`` and
     simulated time (the fast paths and the out-of-core tier are
     semantics-preserving by contract; the harness enforces it). A final
@@ -282,8 +337,9 @@ def run_wallclock_suite(
         try:
             results: dict = {}
             times: dict[str, list[float]] = {"fast": [], "slow": []}
-            for key, eng in case.engines.items():
-                eng.run(case.make_program())  # warm-up (allocator, caches, JIT-free)
+            for _ in range(max(0, warmup)):  # allocator, caches, page-ins
+                for key, eng in case.engines.items():
+                    eng.run(case.make_program())
             for _ in range(max(1, repeats)):
                 for key, eng in case.engines.items():
                     t0 = time.perf_counter()

@@ -240,6 +240,8 @@ class ProfileReport:
     plan_cache: dict = field(default_factory=dict)
     #: host shard-prefetch counters of out-of-core runs (repro.core.movement)
     prefetch: dict = field(default_factory=dict)
+    #: process-pool backend counters (repro.core.procpool)
+    procpool: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -260,6 +262,7 @@ class ProfileReport:
             "counters": self.counters,
             "plan_cache": self.plan_cache,
             "prefetch": self.prefetch,
+            "procpool": self.procpool,
             "verdict": self.verdict.to_dict(),
             "model_validation": [c.to_dict() for c in self.validation],
         }
@@ -292,6 +295,7 @@ class ProfileReport:
             f"~{self.frontier.est_bytes_saved / 2**20:.2f} MiB of PCIe avoided",
             self._plan_cache_line(),
             self._prefetch_line(),
+            self._procpool_line(),
             "",
             f"bottleneck         : {self.verdict.bottleneck} "
             f"({100 * self.verdict.share:.0f}% of makespan)",
@@ -325,7 +329,8 @@ class ProfileReport:
         return (
             f"plan cache         : {pc['hits']}/{queries} hits "
             f"({100 * pc.get('hit_rate', 0.0):.1f}%), "
-            f"{pc.get('invalidations', 0)} invalidations (host fast paths)"
+            f"{pc.get('invalidations', 0)} invalidations, "
+            f"{pc.get('evictions', 0)} evictions (host fast paths)"
         )
 
     def _prefetch_line(self) -> str:
@@ -339,6 +344,18 @@ class ProfileReport:
             f"{pf.get('waits', 0)} waits ({pf.get('wait_seconds', 0.0):.3f} s), "
             f"{pf.get('faults', 0)} faults, {pf.get('evictions', 0)} evictions, "
             f"{pf.get('bytes_loaded', 0) / 2**20:.2f} MiB faulted in"
+        )
+
+    def _procpool_line(self) -> str:
+        pp = self.procpool
+        if not pp.get("tasks"):
+            return "process pool       : n/a (serial or thread backend)"
+        return (
+            f"process pool       : {pp.get('workers', 0)} workers, "
+            f"{pp.get('tasks', 0)} shard tasks "
+            f"(max {pp.get('max_inflight', 0)} in flight), "
+            f"publish {pp.get('publish_seconds', 0.0):.3f} s, "
+            f"wait {pp.get('wait_seconds', 0.0):.3f} s"
         )
 
     @property
@@ -508,6 +525,7 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
             "hits": int(hits),
             "misses": int(misses),
             "invalidations": int(metrics.value("plans.invalidations")),
+            "evictions": int(metrics.value("plans.evictions")),
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         }
 
@@ -533,6 +551,14 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
                 "hit_rate": hits / acquired,
             }
 
+    # -- process pool (repro.core.procpool) ----------------------------
+    procpool = getattr(result, "procpool", None)
+    if procpool is not None:
+        # The wall-clock worker lane belongs in the Chrome trace.
+        procpool = {k: v for k, v in procpool.items() if k != "lane"}
+    else:
+        procpool = {}
+
     run_attrs: dict = {}
     for sp in obs.find(category="run"):
         run_attrs = sp.attrs
@@ -556,6 +582,7 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
         validation=validation,
         plan_cache=plan_cache,
         prefetch=prefetch,
+        procpool=procpool,
     )
 
 

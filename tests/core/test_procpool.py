@@ -1,0 +1,257 @@
+"""Process-pool backend tests (repro.core.procpool).
+
+The pool is a pure host-side rewrite of shard execution: every run must
+be bit-identical to serial (values, frontier trajectory, simulated
+timeline, kernel censuses) whether the shard arrays are exported through
+shared memory (in-RAM graphs) or attached as per-worker memmaps (shard
+stores). The failure-handling half covers the hard guarantees: a killed
+worker degrades to a serial re-run with a warning and an unchanged
+result, shared-memory segments never outlive the run, and the host
+prefetcher's threads never outlive an iteration that raises.
+"""
+
+import os
+import signal
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from tests.core.test_fastpath import PROGRAMS, _kernel_items
+from tests.fixture_graphs import build
+from repro.algorithms import PageRank
+from repro.core.partition import PartitionEngine
+from repro.core.procpool import ENV_WORKER_FLAG, SHM_PREFIX
+from repro.core.runtime import GraphReduce, GraphReduceOptions
+from repro.core.shardstore import ShardStore
+
+POOL = dict(parallel_shards=2, parallel_backend="processes")
+
+
+def _shm_entries() -> set:
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith(SHM_PREFIX)}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _prefetch_threads() -> list:
+    return [t for t in threading.enumerate() if t.name.startswith("shard-prefetch")]
+
+
+def _assert_identical(label, pool, serial):
+    assert pool.procpool is not None, f"{label}: pool fell back to serial"
+    assert pool.procpool["tasks"] > 0, label
+    assert np.array_equal(pool.vertex_values, serial.vertex_values), label
+    assert pool.frontier_history == serial.frontier_history, label
+    assert pool.sim_time == serial.sim_time, label
+    assert pool.iterations == serial.iterations, label
+    assert pool.converged == serial.converged, label
+    assert _kernel_items(pool) == _kernel_items(serial), label
+
+
+# `stamping_sssp` has a real scatter phase plus edge state, so the
+# edge-state delta path is exercised, not just vertex/frontier deltas.
+MATRIX = ("bfs", "sssp", "pagerank", "cc", "stamping_sssp")
+
+
+def test_process_backend_matches_serial_in_ram():
+    g = build("er_mid")
+    weighted = g.with_random_weights(seed=33)
+    before = _shm_entries()
+    for algo in MATRIX:
+        graph = weighted if "sssp" in algo else g
+        make = PROGRAMS[algo]
+        serial = GraphReduce(
+            graph, options=GraphReduceOptions(num_partitions=3, parallel_backend="serial")
+        ).run(make())
+        pool = GraphReduce(
+            graph, options=GraphReduceOptions(num_partitions=3, **POOL)
+        ).run(make())
+        _assert_identical(algo, pool, serial)
+    assert _shm_entries() == before  # every segment unlinked on exit
+
+
+def test_process_backend_matches_serial_store_backed(tmp_path):
+    g = build("er_mid")
+    weighted = g.with_random_weights(seed=33)
+    for label, graph, algo in (
+        ("plain", g, "bfs"),
+        ("plain", g, "pagerank"),
+        ("weighted", weighted, "stamping_sssp"),
+    ):
+        store = ShardStore.save(
+            PartitionEngine().partition(graph, 3), tmp_path / f"{label}-{algo}"
+        )
+        make = PROGRAMS[algo]
+        serial = GraphReduce(
+            graph, options=GraphReduceOptions(num_partitions=3, parallel_backend="serial")
+        ).run(make())
+        pool = GraphReduce(
+            shard_store=store, options=GraphReduceOptions(**POOL)
+        ).run(make())
+        _assert_identical(f"store/{algo}", pool, serial)
+
+
+# ----------------------------------------------------------------------
+# Worker-crash recovery
+# ----------------------------------------------------------------------
+class CrashyPageRank(PageRank):
+    """Kills the hosting pool worker dead (SIGKILL) in iteration >= 1."""
+
+    def apply(self, ctx, vertex_ids, old_values, gathered, has_gathered, iteration):
+        if iteration >= 1 and os.environ.get(ENV_WORKER_FLAG):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().apply(ctx, vertex_ids, old_values, gathered, has_gathered, iteration)
+
+
+def test_worker_crash_falls_back_to_serial():
+    g = build("er_mid")
+    before = _shm_entries()
+    serial = GraphReduce(
+        g, options=GraphReduceOptions(num_partitions=3, parallel_backend="serial")
+    ).run(PageRank(tolerance=1e-3))
+    with pytest.warns(RuntimeWarning, match="falling back to serial"):
+        recovered = GraphReduce(
+            g, options=GraphReduceOptions(num_partitions=3, **POOL)
+        ).run(CrashyPageRank(tolerance=1e-3))
+    # The serial re-run is deterministic, so the result is unchanged.
+    assert recovered.procpool is None
+    assert np.array_equal(recovered.vertex_values, serial.vertex_values)
+    assert recovered.frontier_history == serial.frontier_history
+    assert recovered.sim_time == serial.sim_time
+    assert _shm_entries() == before  # crashed run leaked nothing
+
+
+# ----------------------------------------------------------------------
+# Prefetcher lifetime when an iteration raises mid-run
+# ----------------------------------------------------------------------
+class ExplodingPageRank(PageRank):
+    def apply(self, ctx, vertex_ids, old_values, gathered, has_gathered, iteration):
+        if iteration >= 1:
+            raise RuntimeError("boom in apply")
+        return super().apply(ctx, vertex_ids, old_values, gathered, has_gathered, iteration)
+
+
+def test_prefetcher_threads_die_when_iteration_raises(tmp_path):
+    g = build("er_mid")
+    store = ShardStore.save(PartitionEngine().partition(g, 3), tmp_path / "s")
+    assert not _prefetch_threads()
+    with pytest.raises(RuntimeError, match="boom in apply"):
+        GraphReduce(
+            shard_store=store,
+            options=GraphReduceOptions(host_prefetch=True, prefetch_workers=2),
+        ).run(ExplodingPageRank(tolerance=1e-3))
+    # runtime's try/finally shuts the pool down synchronously
+    # (shutdown(wait=True)), so no warming thread survives the raise.
+    assert not _prefetch_threads()
+
+
+def test_prefetcher_context_manager_shuts_down(tmp_path):
+    from repro.core.movement import HostPrefetcher
+
+    g = build("er_mid")
+    store = ShardStore.save(PartitionEngine().partition(g, 3), tmp_path / "s")
+    with pytest.raises(RuntimeError, match="mid-iteration"):
+        with HostPrefetcher(store, capacity=3, workers=2) as pf:
+            pf.schedule([0, 1, 2])
+            raise RuntimeError("mid-iteration")
+    assert not _prefetch_threads()
+
+
+# ----------------------------------------------------------------------
+# Plan-cache LRU byte budget
+# ----------------------------------------------------------------------
+def test_plan_cache_budget_evicts_and_preserves_results():
+    g = build("er_mid")
+    make = PROGRAMS["pagerank_power"]
+    unbounded = GraphReduce(
+        g, options=GraphReduceOptions(num_partitions=3, plan_cache_budget=None)
+    ).run(make())
+    assert unbounded.plan_cache["evictions"] == 0
+    assert unbounded.plan_cache["budget_bytes"] is None
+    # A budget far below one shard's plan footprint forces evictions on
+    # every reuse attempt; semantics must be untouched.
+    tiny = GraphReduce(
+        g, options=GraphReduceOptions(num_partitions=3, plan_cache_budget=64)
+    ).run(make())
+    assert tiny.plan_cache["evictions"] > 0
+    assert tiny.plan_cache["budget_bytes"] == 64
+    assert np.array_equal(tiny.vertex_values, unbounded.vertex_values)
+    assert tiny.frontier_history == unbounded.frontier_history
+    assert tiny.sim_time == unbounded.sim_time
+    assert _kernel_items(tiny) == _kernel_items(unbounded)
+
+
+def test_plan_cache_budget_bounds_held_bytes():
+    g = build("er_mid")
+    budget = 32 * 1024
+    result = GraphReduce(
+        g, options=GraphReduceOptions(num_partitions=3, plan_cache_budget=budget)
+    ).run(PROGRAMS["pagerank"]())
+    pc = result.plan_cache
+    # The LRU keeps at least the most recent plan even when it alone
+    # exceeds the budget; with several shards cached, held bytes must
+    # settle at or below the budget after evictions.
+    assert pc["evictions"] > 0 or pc["held_bytes"] <= budget
+
+
+def test_plan_cache_counts_evictions_in_metrics():
+    g = build("er_mid")
+    result = GraphReduce(
+        g, options=GraphReduceOptions(num_partitions=3, plan_cache_budget=64)
+    ).run(PROGRAMS["pagerank_power"]())
+    metrics = result.observer.metrics
+    assert metrics.value("plans.evictions") == result.plan_cache["evictions"]
+
+
+# ----------------------------------------------------------------------
+# Observability surfaces
+# ----------------------------------------------------------------------
+def test_pool_snapshot_feeds_profile_and_trace():
+    from repro.obs.export import result_to_chrome_trace
+    from repro.obs.profile import build_profile
+
+    g = build("er_mid")
+    result = GraphReduce(
+        g, options=GraphReduceOptions(num_partitions=3, **POOL)
+    ).run(PROGRAMS["pagerank"]())
+    assert result.procpool is not None
+    report = build_profile(result)
+    assert report.procpool["workers"] == 2
+    assert report.procpool["tasks"] == result.procpool["tasks"]
+    assert "lane" not in report.procpool
+    assert "process pool" in report.to_text()
+    assert "evictions" in report.to_text()
+    doc = result_to_chrome_trace(result)
+    lanes = [
+        ev for ev in doc["traceEvents"]
+        if ev.get("ph") == "X" and ev.get("cat") == "procpool.task"
+    ]
+    assert len(lanes) == result.procpool["tasks"]
+    workers = {
+        ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev.get("ph") == "M" and ev.get("pid") == 4 and ev.get("name") == "thread_name"
+    }
+    assert workers == {"pool worker 0 (wall clock)", "pool worker 1 (wall clock)"}
+
+
+def test_serial_backend_ignores_parallel_shards():
+    g = build("er_mid")
+    result = GraphReduce(
+        g,
+        options=GraphReduceOptions(
+            num_partitions=3, parallel_shards=4, parallel_backend="serial"
+        ),
+    ).run(PROGRAMS["bfs"]())
+    assert result.procpool is None
+
+
+def test_unknown_backend_rejected():
+    g = build("er_mid")
+    with pytest.raises(ValueError, match="parallel_backend"):
+        GraphReduce(
+            g, options=GraphReduceOptions(parallel_backend="fibers")
+        ).run(PROGRAMS["bfs"]())
