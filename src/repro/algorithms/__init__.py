@@ -18,7 +18,7 @@ from repro.algorithms.labelprop import LabelPropagation
 from repro.algorithms.mis import MaximalIndependentSet
 from repro.algorithms.pagerank import PageRank
 from repro.algorithms.spmv import SpMV
-from repro.algorithms.sssp import SSSP
+from repro.algorithms.sssp import SSSP, DeltaSSSP
 
 #: The paper's Table-3/Table-4 algorithm suite, in column order.
 PAPER_ALGORITHMS = {
@@ -32,6 +32,7 @@ __all__ = [
     "BFS",
     "BFSGather",
     "SSSP",
+    "DeltaSSSP",
     "PageRank",
     "ConnectedComponents",
     "HeatSimulation",

@@ -26,7 +26,14 @@ UNREACHED = np.float32(np.inf)
 
 
 class BFS(GASProgram):
-    """Apply-only BFS (depth = iteration number when first activated)."""
+    """Apply-only BFS (depth = iteration number when first activated).
+
+    Push-only (``pull_compatible`` stays False): apply treats activation
+    itself as the signal -- every active unvisited vertex is stamped
+    with the iteration number -- so running with a superset frontier
+    would mark unreached vertices. Use :class:`BFSGather` when the
+    runtime should be free to pull.
+    """
 
     name = "bfs"
     gather_reduce = np.minimum
@@ -60,6 +67,10 @@ class BFSGather(GASProgram):
     name = "bfs-gather"
     gather_reduce = np.minimum
     gather_identity = np.inf
+    #: improvement-driven apply: extra active vertices whose in-
+    #: neighbors did not improve gather no better candidate and stay
+    #: unchanged, so the runtime may execute bottom-up iterations.
+    pull_compatible = True
 
     def __init__(self, source: int = 0):
         self.source = source

@@ -18,6 +18,9 @@ class ConnectedComponents(GASProgram):
     name = "cc"
     gather_reduce = np.minimum
     gather_identity = np.inf
+    #: min-label apply is improvement-driven, so pull iterations
+    #: (superset frontiers) cannot change results.
+    pull_compatible = True
 
     def init_vertices(self, ctx):
         return np.arange(ctx.num_vertices, dtype=self.vertex_dtype)

@@ -48,7 +48,9 @@ import numpy as np
 
 from repro.algorithms import (
     BFS,
+    BFSGather,
     ConnectedComponents,
+    DeltaSSSP,
     KCore,
     LabelPropagation,
     PageRank,
@@ -62,8 +64,16 @@ from repro.graph.properties import footprint_bytes
 from repro.sim.specs import DeviceSpec, HostSpec, SCALE
 
 ALGORITHMS = {
-    "bfs": lambda args: BFS(source=args.source),
+    # A non-push direction needs a pull-compatible program; the gather
+    # formulation computes the same float32 levels as the fused form.
+    "bfs": lambda args: (
+        BFSGather(source=args.source)
+        if getattr(args, "direction", "push") != "push"
+        else BFS(source=args.source)
+    ),
+    "bfs-gather": lambda args: BFSGather(source=args.source),
     "sssp": lambda args: SSSP(source=args.source),
+    "sssp-delta": lambda args: DeltaSSSP(source=args.source, delta=args.delta),
     "pagerank": lambda args: PageRank(tolerance=args.tolerance),
     # Fixed-iteration power formulation: every vertex active/changed
     # each round (the classic PageRank benchmark shape, and the steady
@@ -89,6 +99,10 @@ def _fastpath_options(args) -> dict:
     opts = {
         "dense_fast_path": not args.no_dense_path,
         "plan_cache": not args.no_plan_cache,
+        "sparse_bypass": not args.no_sparse_bypass,
+        "direction": args.direction,
+        "direction_alpha": args.direction_alpha,
+        "direction_beta": args.direction_beta,
         "parallel_shards": workers,
         "parallel_backend": backend,
     }
@@ -116,7 +130,7 @@ def load_graph(spec: str) -> EdgeList:
 
 
 def prepare(graph: EdgeList, args) -> EdgeList:
-    if args.algorithm == "sssp" and graph.weights is None:
+    if args.algorithm in ("sssp", "sssp-delta") and graph.weights is None:
         graph = graph.with_random_weights(seed=0)
     if args.algorithm in ("cc", "kcore", "labelprop") and not graph.undirected:
         sym = graph.symmetrized()
@@ -215,7 +229,12 @@ def cmd_run(args) -> int:
         pc = result.plan_cache
         queries = pc["hits"] + pc["misses"]
         print(f"plan cache : {pc['hits']}/{queries} hits "
-              f"({100 * pc['hit_rate']:.1f}%), {pc['invalidations']} invalidations")
+              f"({100 * pc['hit_rate']:.1f}%), {pc['invalidations']} invalidations, "
+              f"{pc.get('sparse_bypass', 0)} sparse bypasses")
+    if result.direction_decisions is not None:
+        pulls = sum(1 for d in result.direction_decisions if d.direction == "pull")
+        print(f"direction  : {args.direction} "
+              f"({pulls}/{len(result.direction_decisions)} pull iterations)")
     _print_prefetch(result)
     finite = vals[np.isfinite(vals)]
     if len(finite):
@@ -447,6 +466,12 @@ def cmd_bench_wallclock(args) -> int:
               f"slow {m['wall_seconds_slow'] * 1e3:8.1f} ms  "
               f"speedup {m['speedup']:5.2f}x (floor {m['min_speedup']:.1f}x)  "
               f"plan hits {100 * pc.get('hit_rate', 0.0):5.1f}%")
+        vs = {k[len("speedup_vs_"):]: v for k, v in m.items()
+              if k.startswith("speedup_vs_")}
+        if vs:
+            ratios = "  ".join(f"{k} {v:5.2f}x" for k, v in sorted(vs.items()))
+            print(f"{'':22s} auto vs fixed: {ratios} "
+                  f"(floor {m.get('min_variant_ratio', 0.0):.2f}x)")
         probe = m.get("ooc_probe")
         if probe:
             print(f"{'':22s} ooc probe: peak RSS +"
@@ -458,11 +483,7 @@ def cmd_bench_wallclock(args) -> int:
     # Speedup floors are same-machine, same-moment ratios -- enforce
     # them on every invocation, including --update, so a regressed
     # fast path cannot be silently baked into the snapshot.
-    failures = [
-        (name, m["speedup"], m["min_speedup"])
-        for name, m in sorted(fresh.items())
-        if m.get("min_speedup") and m["speedup"] < m["min_speedup"]
-    ]
+    failures = bench.floor_failures(fresh)
     snapshot_path = Path(args.snapshot)
     if args.update:
         tolerance = args.tolerance
@@ -495,7 +516,7 @@ def cmd_bench_wallclock(args) -> int:
     if failures:
         for name, speedup, floor in failures:
             print(f"error: {name} speedup {speedup:.2f}x below the "
-                  f"{floor:.1f}x floor", file=sys.stderr)
+                  f"{floor:.2f}x floor", file=sys.stderr)
         return 1
     if not args.update:
         if regressions:
@@ -544,6 +565,25 @@ def _add_fastpath_args(p) -> None:
                    help="disable the dense-frontier host fast path")
     p.add_argument("--no-plan-cache", action="store_true",
                    help="disable the gather/scatter plan cache")
+    p.add_argument("--no-sparse-bypass", action="store_true",
+                   help="disable the sparse-frontier plan bypass (always "
+                        "consult the epoch-keyed plan cache)")
+    p.add_argument(
+        "--direction", choices=("push", "pull", "auto"), default="push",
+        help="traversal direction: natural frontier (push), bottom-up "
+             "(pull), or per-iteration Beamer alpha/beta switching "
+             "(auto); pull/auto need a pull-compatible gather program",
+    )
+    p.add_argument(
+        "--direction-alpha", type=float, default=14.0,
+        help="push->pull threshold: switch when frontier out-edges "
+             "exceed unexplored-edges/alpha",
+    )
+    p.add_argument(
+        "--direction-beta", type=float, default=24.0,
+        help="pull->push threshold: switch back when the frontier "
+             "shrinks below vertices/beta",
+    )
     p.add_argument(
         "--parallel-shards", type=int, default=0,
         help="workers for parallel shard compute (0 = off; bsp only)",
@@ -589,6 +629,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--k", type=int, default=3, help="k for k-core")
         p.add_argument("--power-iterations", type=int, default=25,
                        help="rounds for pagerank-power")
+        p.add_argument("--delta", type=float, default=1.0,
+                       help="bucket width for sssp-delta")
         p.add_argument("--max-iterations", type=int, default=100_000)
     run_p = next(a for a in sub.choices.values() if a.prog.endswith("run"))
     run_p.add_argument("--unoptimized", action="store_true",

@@ -53,6 +53,19 @@ class GASProgram:
     #: level-scheduled sweeps): every vertex stays in the frontier each
     #: iteration and termination comes solely from :meth:`converged`.
     always_active: bool = False
+    #: whether the runtime may execute an iteration with a *superset* of
+    #: the natural frontier (pull / bottom-up direction). Safe exactly
+    #: when ``apply`` is improvement-driven: extra active vertices must
+    #: be no-ops (no value change, ``changed`` False) whenever none of
+    #: their in-neighbors improved. Programs whose apply treats
+    #: activation itself as information (the apply-only BFS marks every
+    #: active unvisited vertex) must leave this False.
+    pull_compatible: bool = False
+    #: False for programs carrying mutable Python state across apply
+    #: calls (e.g. delta-stepping's propagation ledger): the process-
+    #: pool backend replicates the program per worker, so such state
+    #: would silently diverge. The runtime rejects the combination.
+    process_safe: bool = True
     name: str = "gas-program"
 
     # ------------------------------------------------------------------
@@ -113,6 +126,18 @@ class GASProgram:
     def converged(self, ctx: "RuntimeContext", iteration: int, frontier_size: int) -> bool:
         """Extra termination condition; the empty frontier always stops."""
         return False
+
+    def reseed_frontier(
+        self, ctx: "RuntimeContext", values: np.ndarray
+    ) -> np.ndarray | None:
+        """Called when the frontier empties, before terminating.
+
+        Bucketed algorithms (delta-stepping SSSP) hold improvements back
+        until their bucket opens; this hook lets them re-activate the
+        deferred vertices. Return a bool mask to continue with it as the
+        next frontier, or None to accept convergence (the default).
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Phase presence (drives the Phase Fusion Engine)

@@ -15,11 +15,17 @@ Figures 3, 16 and 17.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.partition import ShardedGraph
 from repro.obs.span import NULL_OBSERVER
+
+#: Keep a compacted (sorted-vid) copy of the active frontier only while
+#: it is this sparse; denser frontiers answer interval queries straight
+#: from the mask, and the dense fast path takes over anyway.
+COMPACT_MAX_FRACTION = 0.25
 
 
 class FrontierManager:
@@ -55,13 +61,35 @@ class FrontierManager:
         self.active_epochs = np.zeros(p, dtype=np.int64)
         self.changed_epochs = np.zeros(p, dtype=np.int64)
         self._epoch_lock = threading.Lock()
+        self._recompact()
+
+    def _recompact(self) -> None:
+        """Refresh the compacted frontier after a ``current`` mutation.
+
+        ``current`` is stable for the whole iteration (only ``next`` and
+        ``changed`` mutate mid-iteration), so one flatnonzero at the
+        mutation boundary replaces a per-shard-per-phase interval scan.
+        Every method that rewrites ``current`` must end here.
+        """
+        n = len(self.current)
+        size = int(self.current.sum())
+        self._size = size
+        if 0 < size <= int(n * COMPACT_MAX_FRACTION):
+            self._compact = np.flatnonzero(self.current)
+        else:
+            self._compact = None
 
     # ------------------------------------------------------------------
     # Queries used to build each phase's shard work list
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
-        return int(self.current.sum())
+        return self._size
+
+    @property
+    def compact_indices(self) -> np.ndarray | None:
+        """Sorted indices of ``current``, or None when not compacted."""
+        return self._compact
 
     def counts_per_shard(self, mask: np.ndarray) -> np.ndarray:
         """How many set vertices of ``mask`` fall in each interval.
@@ -83,6 +111,12 @@ class FrontierManager:
 
     def active_shards(self) -> np.ndarray:
         """Shards with at least one *active* vertex (gather/apply work)."""
+        c = self._compact
+        if c is not None:
+            # O(P log F) from the compacted frontier instead of an O(V)
+            # reduceat over the mask.
+            per = np.searchsorted(c, self.sharded.boundaries)
+            return np.flatnonzero(per[1:] > per[:-1])
         return np.flatnonzero(self.counts_per_shard(self.current) > 0)
 
     def changed_shards(self) -> np.ndarray:
@@ -91,6 +125,10 @@ class FrontierManager:
 
     def active_in(self, start: int, stop: int) -> np.ndarray:
         """Active vertex ids inside [start, stop)."""
+        c = self._compact
+        if c is not None:
+            lo, hi = np.searchsorted(c, (start, stop))
+            return c[lo:hi]
         return start + np.flatnonzero(self.current[start:stop])
 
     def changed_in(self, start: int, stop: int) -> np.ndarray:
@@ -98,7 +136,28 @@ class FrontierManager:
 
     def dense_active_in(self, start: int, stop: int) -> bool:
         """Whether *every* vertex of [start, stop) is active."""
+        c = self._compact
+        if c is not None:
+            lo, hi = np.searchsorted(c, (start, stop))
+            return int(hi - lo) == stop - start
         return bool(self.current[start:stop].all())
+
+    def sparse_count(self, mask: str, start: int, stop: int) -> int | None:
+        """Cheap count of set ``mask`` vids in [start, stop), else None.
+
+        The plan cache's sparse-bypass pre-check: it must cost far less
+        than building the plan it might skip. ``active`` answers from
+        the compacted frontier in O(log F) and reports None when the
+        frontier is too dense to be compacted (no bypass candidate
+        anyway); ``changed`` is one vectorized count over the interval.
+        """
+        if mask == "active":
+            c = self._compact
+            if c is None:
+                return None
+            lo, hi = np.searchsorted(c, (start, stop))
+            return int(hi - lo)
+        return int(np.count_nonzero(self.changed[start:stop]))
 
     def dense_changed_in(self, start: int, stop: int) -> bool:
         """Whether *every* vertex of [start, stop) changed."""
@@ -138,6 +197,7 @@ class FrontierManager:
         """
         self._bump(self.active_epochs)
         self._bump(self.changed_epochs)
+        self._recompact()
 
     # ------------------------------------------------------------------
     # Updates from the Compute Engine
@@ -178,10 +238,35 @@ class FrontierManager:
         self.obs.add("frontier.activations", count)
 
     def activate_all(self) -> None:
-        """always_active programs: the whole vertex set is this
-        iteration's frontier."""
+        """The whole vertex set is this iteration's frontier.
+
+        Used by ``always_active`` programs every iteration, and by the
+        runtime's pull direction: a pull iteration executes with every
+        vertex active (bottom-up gather), while ``next``/``changed``
+        still derive the natural frontier for termination and the
+        direction rule.
+        """
         self.current[:] = True
         self._bump(self.active_epochs)
+        self._recompact()
+
+    def set_current(self, mask: np.ndarray) -> None:
+        """Replace this iteration's frontier before any phase ran.
+
+        The reseed path (:meth:`repro.core.api.GASProgram.
+        reseed_frontier`): the recorded history entry for this iteration
+        is corrected to the real frontier size.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.current.shape:
+            raise ValueError(
+                f"reseed frontier must be a bool mask of length "
+                f"{len(self.current)}, got shape {mask.shape}"
+            )
+        self.current[:] = mask
+        self._bump(self.active_epochs)
+        self._recompact()
+        self.history[-1] = self._size
 
     def advance(self) -> None:
         """BSP iteration boundary: promote next -> current."""
@@ -191,7 +276,8 @@ class FrontierManager:
         self._bump(self.active_epochs)
         self._bump(self.changed_epochs)
         self.iteration += 1
-        size = int(self.current.sum())
+        self._recompact()
+        size = self._size
         self.history.append(size)
         self.obs.observe("frontier.size", size)
 
@@ -211,3 +297,115 @@ class FrontierManager:
             return 1.0
         below = sum(1 for s in sizes if s < threshold * peak)
         return below / len(sizes)
+
+
+# ----------------------------------------------------------------------
+# Direction-optimizing traversal (Beamer-style push/pull switching)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DirectionDecision:
+    """One iteration's direction choice and the rule inputs behind it.
+
+    Recorded on :class:`repro.core.runtime.GraphReduceResult` so tests
+    (and the report) can replay the alpha/beta rule exactly.
+    """
+
+    iteration: int
+    direction: str
+    #: natural frontier size n_f (before any pull expansion)
+    frontier_size: int
+    #: out-edges of the natural frontier, m_f
+    frontier_edges: int
+    #: out-edges of still-unexplored vertices, m_u (frontier counted
+    #: as explored)
+    unexplored_edges: int
+
+
+class DirectionController:
+    """Per-iteration push/pull selection (Gunrock / Beamer 2012).
+
+    Push (top-down) enumerates the frontier's out-edges; pull
+    (bottom-up) gathers over every vertex's in-edges, which the host
+    fast path serves from cached dense plans. The classic hysteresis
+    rule picks between them:
+
+    * push -> pull when the frontier's edge work exceeds its share of
+      the unexplored edges: ``m_f > m_u / alpha``;
+    * pull -> push when the frontier thins out again: ``n_f < n / beta``.
+
+    Every input is derived from the *natural* (change-driven) frontier,
+    which is identical in both directions for improvement-driven
+    programs -- so the decision sequence is a deterministic function of
+    (graph, program, alpha, beta), independent of execution backend.
+    ``m_u`` counts each unexplored vertex's out-degree (for the
+    symmetrized graphs traversal runs on, identical to in-degree).
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        out_degrees: np.ndarray,
+        num_edges: int,
+        num_vertices: int,
+        alpha: float = 14.0,
+        beta: float = 24.0,
+    ):
+        if mode not in ("push", "pull", "auto"):
+            raise ValueError(f"unknown direction {mode!r}")
+        if alpha <= 0 or beta <= 0:
+            raise ValueError("direction alpha/beta must be positive")
+        self.mode = mode
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self._out_degrees = np.asarray(out_degrees, dtype=np.int64)
+        self._num_vertices = int(num_vertices)
+        self._unexplored_edges = int(num_edges)
+        self._visited = np.zeros(num_vertices, dtype=bool)
+        self._state = "push"
+        self.decisions: list[DirectionDecision] = []
+
+    def choose(
+        self,
+        frontier_mask: np.ndarray,
+        iteration: int,
+        vids: np.ndarray | None = None,
+    ) -> str:
+        """Pick this iteration's direction from the natural frontier.
+
+        ``vids``, when given, is the compacted index form of
+        ``frontier_mask``; the bookkeeping then costs O(F) instead of
+        four O(V) passes, which matters on the long sparse tail of
+        high-diameter traversals. Both forms yield identical decisions.
+        """
+        if vids is not None:
+            new = vids[~self._visited[vids]]
+            self._unexplored_edges -= int(self._out_degrees[new].sum())
+            self._visited[vids] = True
+            n_f = len(vids)
+            m_f = int(self._out_degrees[vids].sum())
+        else:
+            new = frontier_mask & ~self._visited
+            self._unexplored_edges -= int(self._out_degrees[new].sum())
+            self._visited |= frontier_mask
+            n_f = int(np.count_nonzero(frontier_mask))
+            m_f = int(self._out_degrees[frontier_mask].sum())
+        if self.mode == "auto":
+            if self._state == "push" and m_f > self._unexplored_edges / self.alpha:
+                self._state = "pull"
+            elif self._state == "pull" and n_f < self._num_vertices / self.beta:
+                self._state = "push"
+            direction = self._state
+        else:
+            direction = self.mode
+        self.decisions.append(
+            DirectionDecision(
+                iteration=iteration,
+                direction=direction,
+                frontier_size=n_f,
+                frontier_edges=m_f,
+                unexplored_edges=self._unexplored_edges,
+            )
+        )
+        return direction

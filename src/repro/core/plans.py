@@ -22,6 +22,13 @@ our NumPy kernels):
   the cached plan fresh without touching the mask; on an epoch miss the
   plan revalidates by comparing the recomputed row set (``array_equal``)
   before falling back to a rebuild.
+* **Sparse bypass** -- traversal frontiers (BFS/SSSP waves) never
+  repeat, so for them the cache is all misses and pure overhead. When a
+  query's frontier covers at most ``1/SPARSE_BYPASS_FACTOR`` of the
+  shard's interval, the plan is built directly from the CSR/CSC rows --
+  the same arrays the slow path would produce -- skipping epoch
+  bookkeeping, ``array_equal`` revalidation and LRU accounting entirely.
+  Counted as ``plans.sparse_bypass`` (neither hit nor miss).
 
 Both paths are semantics-preserving and invisible to the simulated cost
 model: plans reproduce bit-identical index sets, in the same order, with
@@ -51,6 +58,13 @@ from repro.core.frontier import FrontierManager
 from repro.core.partition import Shard, ShardedGraph
 from repro.graph.csr import dense_gather, ragged_gather
 from repro.obs.span import NULL_OBSERVER
+
+#: Sparse-plan bypass threshold: a frontier covering at most 1/8 of a
+#: shard's interval skips the epoch-keyed cache entirely and builds its
+#: plan directly (see :meth:`PlanCache.gather_plan`). Tiny traversal
+#: frontiers never repeat, so caching them is pure overhead -- the
+#: BFS-regression pathology this bypass exists to kill.
+SPARSE_BYPASS_FACTOR = 8
 
 
 @dataclass
@@ -217,12 +231,18 @@ class PlanCache:
         dense: bool = True,
         cache: bool = True,
         budget: int | None = None,
+        sparse: bool = True,
     ):
         self.sharded = sharded
         self.frontier = frontier
         self.obs = obs if obs is not None else NULL_OBSERVER
         self.dense_enabled = dense
         self.cache_enabled = cache
+        #: sparse-frontier bypass: queries whose frontier covers at most
+        #: 1/SPARSE_BYPASS_FACTOR of the shard's interval build their
+        #: plan directly (bit-identical to the slow path) and never
+        #: touch the epoch/LRU machinery. Only active on the fast path.
+        self.sparse_enabled = sparse
         #: LRU byte budget over the cached plans (see :func:`_plan_nbytes`
         #: for what counts). None -> unbounded, the pre-budget behavior.
         #: The canonical row sets (``_rows``) and the tiny dense-vid
@@ -247,6 +267,7 @@ class PlanCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.sparse_bypass = 0
         self._lock = threading.Lock()
 
     @property
@@ -257,6 +278,7 @@ class PlanCache:
         with self._lock:
             hits, misses, inv = self.hits, self.misses, self.invalidations
             evictions, held = self.evictions, self._held_bytes
+            bypass = self.sparse_bypass
         total = hits + misses
         return {
             "hits": hits,
@@ -264,6 +286,7 @@ class PlanCache:
             "invalidations": inv,
             "hit_rate": hits / total if total else 0.0,
             "evictions": evictions,
+            "sparse_bypass": bypass,
             "budget_bytes": self.budget,
             "held_bytes": held,
         }
@@ -316,6 +339,28 @@ class PlanCache:
         if invalidated:
             self.obs.add("plans.invalidations")
 
+    def _sparse_rows(self, shard: Shard, mask: str):
+        """Rows for a bypass-eligible tiny frontier, else None.
+
+        The pre-check is a cheap count (compacted frontier / one
+        vectorized scan); only eligible queries pay the row extraction.
+        """
+        if not self.sparse_enabled:
+            return None
+        count = self.frontier.sparse_count(mask, shard.start, shard.stop)
+        if count is None or count * SPARSE_BYPASS_FACTOR > shard.num_interval_vertices:
+            return None
+        fr = self.frontier
+        rows = (
+            fr.active_in(shard.start, shard.stop)
+            if mask == "active"
+            else fr.changed_in(shard.start, shard.stop)
+        )
+        with self._lock:
+            self.sparse_bypass += 1
+        self.obs.add("plans.sparse_bypass")
+        return rows
+
     def _resolve_rows(self, shard: Shard, mask: str):
         """(rows | None-if-dense, fresh) for the current mask contents.
 
@@ -364,6 +409,9 @@ class PlanCache:
         if not self.enabled:
             rows = self.frontier.active_in(shard.start, shard.stop)
             return _build_gather_plan(shard, rows, dense=False, epoch=0)
+        bypass = self._sparse_rows(shard, "active")
+        if bypass is not None:
+            return _build_gather_plan(shard, bypass, dense=False, epoch=0)
         rows, fresh = self._resolve_rows(shard, "active")
         epoch = int(self.frontier.active_epochs[shard.index])
         if rows is None:  # dense: the plan is static per shard topology
@@ -399,6 +447,9 @@ class PlanCache:
         if not self.enabled:
             rows = self.frontier.changed_in(shard.start, shard.stop)
             return _build_out_plan(shard, rows, dense=False, epoch=0, full=full)
+        bypass = self._sparse_rows(shard, "changed")
+        if bypass is not None:
+            return _build_out_plan(shard, bypass, dense=False, epoch=0, full=full)
         rows, fresh = self._resolve_rows(shard, "changed")
         epoch = int(self.frontier.changed_epochs[shard.index])
         if rows is None:
@@ -467,6 +518,9 @@ class PlanCache:
         """
         if not self.enabled:
             return self.frontier.active_in(shard.start, shard.stop), False
+        bypass = self._sparse_rows(shard, "active")
+        if bypass is not None:
+            return bypass, False
         rows, fresh = self._resolve_rows(shard, "active")
         self._record(hit=fresh)
         if rows is None:

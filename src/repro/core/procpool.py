@@ -182,6 +182,16 @@ class _WorkerFrontier:
     def dense_changed_in(self, start: int, stop: int) -> bool:
         return bool(self.changed[start:stop].all())
 
+    def sparse_count(self, mask: str, start: int, stop: int) -> int:
+        """Sparse-bypass pre-check (see FrontierManager.sparse_count).
+
+        Workers handle one shard per task, so a vectorized interval
+        count is cheap enough without the main process's compacted-
+        frontier cache.
+        """
+        src = self.current if mask == "active" else self.changed
+        return int(np.count_nonzero(src[start:stop]))
+
     # -- captured mutations --------------------------------------------
     def mark_changed(self, vids: np.ndarray) -> None:
         self.deltas.append(("mc", vids))
@@ -325,6 +335,7 @@ class _WorkerRunner:
             dense=spec["dense"],
             cache=spec["cache"],
             budget=spec["plan_budget"],
+            sparse=spec.get("sparse", True),
         )
         self.engine = _WorkerEngine(
             spec["program"],
@@ -418,6 +429,7 @@ class ProcessPool:
         workers: int,
         dense: bool,
         cache: bool,
+        sparse: bool = True,
         plan_budget: int | None = None,
         store=None,
         unit_weights: bool = False,
@@ -445,7 +457,10 @@ class ProcessPool:
         self._t0 = perf_counter()
 
         try:
-            self._start(mp, sharded, program, ctx, store, unit_weights, dense, cache, plan_budget)
+            self._start(
+                mp, sharded, program, ctx, store, unit_weights, dense, cache,
+                sparse, plan_budget,
+            )
         except WorkerCrashed:
             self.shutdown()
             raise
@@ -454,7 +469,10 @@ class ProcessPool:
             raise WorkerCrashed(f"pool startup failed: {exc!r}") from exc
 
     # ------------------------------------------------------------------
-    def _start(self, mp, sharded, program, ctx, store, unit_weights, dense, cache, plan_budget):
+    def _start(
+        self, mp, sharded, program, ctx, store, unit_weights, dense, cache,
+        sparse, plan_budget,
+    ):
         spawn = mp.get_context("spawn")
         shard_manifest = [
             (s.index, s.start, s.stop, s.num_in_edges, s.num_out_edges)
@@ -505,6 +523,7 @@ class ProcessPool:
             "state": (state_shm.name, state_toc),
             "dense": dense,
             "cache": cache,
+            "sparse": sparse,
             "plan_budget": plan_budget,
         }
         self._result_q = spawn.Queue()
@@ -694,7 +713,9 @@ class ProcessPool:
         if self.worker_plan_stats:
             plans = {
                 key: sum(s.get(key, 0) for s in self.worker_plan_stats)
-                for key in ("hits", "misses", "invalidations", "evictions")
+                for key in (
+                    "hits", "misses", "invalidations", "evictions", "sparse_bypass",
+                )
             }
             total = plans["hits"] + plans["misses"]
             plans["hit_rate"] = plans["hits"] / total if total else 0.0

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.core.api import GASProgram
 from repro.core.compute import ComputeEngine
-from repro.core.frontier import FrontierManager
+from repro.core.frontier import DirectionController, FrontierManager
 from repro.core.fusion import PhaseGroup, build_async_plan, build_plan
 from repro.core.movement import (
     DataMovementEngine,
@@ -92,6 +92,22 @@ class GraphReduceOptions:
     #: Gauss-Seidel and order-dependent, so they stay sequential.
     dense_fast_path: bool = True
     plan_cache: bool = True
+    #: build per-frontier gather plans straight from the compacted
+    #: frontier when it is much smaller than a shard's interval, instead
+    #: of consulting (and missing) the epoch-keyed plan cache -- the fix
+    #: for traversal frontiers that never repeat (see repro.core.plans).
+    sparse_bypass: bool = True
+    #: Traversal direction: ``"push"`` executes the natural change-
+    #: driven frontier (the paper's model); ``"pull"`` runs every
+    #: iteration bottom-up with all vertices active, which the dense
+    #: fast path serves from cached whole-interval plans; ``"auto"``
+    #: switches per iteration with the Beamer alpha/beta rule (see
+    #: :class:`repro.core.frontier.DirectionController`). Anything but
+    #: ``"push"`` requires a pull-compatible gather program; results
+    #: are bit-identical in every mode.
+    direction: str = "push"
+    direction_alpha: float = 14.0
+    direction_beta: float = 24.0
     parallel_shards: int = 0
     #: How ``parallel_shards`` workers execute: ``"threads"`` (PR 3's
     #: ThreadPoolExecutor; NumPy kernels release the GIL), or
@@ -178,6 +194,9 @@ class IterationStat:
     sim_seconds: float
     shards_processed: int
     shards_skipped: int
+    #: execution direction this iteration ran in ('push' or 'pull');
+    #: frontier_size stays the *natural* frontier either way
+    direction: str = "push"
 
 
 @dataclass
@@ -221,6 +240,9 @@ class GraphReduceResult:
     #: process-pool totals + per-worker wall-clock lane (``processes``
     #: backend only; None otherwise)
     procpool: dict | None = None
+    #: per-iteration :class:`repro.core.frontier.DirectionDecision`
+    #: records (options.direction != 'push' only; None otherwise)
+    direction_decisions: list | None = None
 
     @property
     def memcpy_fraction(self) -> float:
@@ -300,6 +322,17 @@ class GraphReduce:
         self, program: GASProgram, max_iterations: int | None, opts: GraphReduceOptions
     ) -> GraphReduceResult:
         program.validate()
+        if opts.direction not in ("push", "pull", "auto"):
+            raise ValueError(f"unknown direction {opts.direction!r}")
+        if opts.direction != "push" and not (
+            program.pull_compatible and program.has_gather
+        ):
+            raise ValueError(
+                f"direction={opts.direction!r} needs a pull-compatible gather "
+                f"program; {type(program).__name__} is push-only (its apply "
+                "treats activation as information, so a superset frontier "
+                "would change results)"
+            )
         edges = self.edges
         if program.needs_weights and edges.weights is None:
             edges = edges.with_unit_weights()
@@ -322,6 +355,12 @@ class GraphReduce:
             and opts.parallel_shards > 1
             and opts.execution_mode == "bsp"
         )
+        if use_pool and not program.process_safe:
+            raise ValueError(
+                f"{type(program).__name__} carries mutable per-run Python "
+                "state (process_safe=False); the processes backend would "
+                "silently diverge per worker -- use serial or threads"
+            )
         prefetcher = None
         executor = None
         pool = None
@@ -429,6 +468,7 @@ class GraphReduce:
                 dense=opts.dense_fast_path,
                 cache=opts.plan_cache,
                 budget=opts.plan_cache_budget,
+                sparse=opts.sparse_bypass,
             )
             compute = ComputeEngine(sharded, program, ctx, frontier, obs=obs, plans=plans)
             if prefetcher is not None:
@@ -456,6 +496,7 @@ class GraphReduce:
                     workers=opts.parallel_shards,
                     dense=opts.dense_fast_path,
                     cache=opts.plan_cache,
+                    sparse=opts.sparse_bypass,
                     plan_budget=opts.plan_cache_budget,
                     store=self.shard_store,
                     unit_weights=(
@@ -466,6 +507,16 @@ class GraphReduce:
                 )
 
             # --- Iterations --------------------------------------------
+            controller = None
+            if opts.direction != "push":
+                controller = DirectionController(
+                    opts.direction,
+                    ctx.out_degrees,
+                    edges.num_edges,
+                    edges.num_vertices,
+                    alpha=opts.direction_alpha,
+                    beta=opts.direction_beta,
+                )
             limit = max_iterations if max_iterations is not None else opts.max_iterations
             converged = False
             iteration = 0
@@ -489,19 +540,37 @@ class GraphReduce:
                 if program.always_active:
                     frontier.activate_all()
                 if frontier.size == 0:
-                    converged = True
-                    break
+                    reseed = program.reseed_frontier(ctx, compute.vertex_values)
+                    if reseed is None or not np.any(reseed):
+                        converged = True
+                        break
+                    frontier.set_current(reseed)
                 if program.converged(ctx, iteration, frontier.size):
                     converged = True
                     break
                 frontier_size = frontier.size
+                direction = "push"
+                if controller is not None:
+                    direction = controller.choose(
+                        frontier.current, iteration, vids=frontier.compact_indices
+                    )
+                    if direction == "pull":
+                        # Bottom-up: run the iteration with every vertex
+                        # active. The natural next frontier still comes
+                        # from FA over the changed set, so termination
+                        # and the direction rule are unaffected.
+                        frontier.activate_all()
                 t0 = sim.now
                 h2d0, d2h0 = movement.stats.h2d_bytes, movement.stats.d2h_bytes
                 proc0, skip0 = movement.stats.shards_processed, movement.stats.shards_skipped
                 compute.begin_iteration(iteration)
                 movement.current_iteration = iteration
                 with obs.span(
-                    "iteration", category="iteration", index=iteration, frontier=frontier_size
+                    "iteration",
+                    category="iteration",
+                    index=iteration,
+                    frontier=frontier_size,
+                    direction=direction,
                 ) as it_span:
                     for group in plan:
                         shards, skipped = self._select_shards(group, sharded, frontier, opts)
@@ -558,6 +627,7 @@ class GraphReduce:
                         sim_seconds=sim.now - t0,
                         shards_processed=movement.stats.shards_processed - proc0,
                         shards_skipped=movement.stats.shards_skipped - skip0,
+                        direction=direction,
                     )
                 )
                 obs.add("runtime.iterations")
@@ -609,6 +679,9 @@ class GraphReduce:
             plan_cache=plan_cache_stats,
             prefetch=prefetcher.snapshot() if prefetcher is not None else None,
             procpool=pool_snapshot,
+            direction_decisions=(
+                controller.decisions if controller is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -239,6 +239,73 @@ def road_network(
     return out
 
 
+def grid_road(
+    rows: int,
+    cols: int,
+    diagonal_fraction: float = 0.1,
+    seed: int = 0,
+    name: str = "grid-road",
+    highways: int = 0,
+) -> EdgeList:
+    """Road-network benchmark mesh: full 2-D lattice + random diagonals.
+
+    Unlike :func:`road_network` (spanning tree, degree ~2) every lattice
+    edge is kept, so the graph has enough edge work to time while
+    preserving the high-diameter traversal profile where direction
+    switching matters. Each lattice square flips a coin with probability
+    ``diagonal_fraction`` and, when chosen, gains one of its two
+    diagonals (equal odds). Provable bounds the unit tests pin:
+
+    * degree <= 8 -- 4 lattice neighbors plus at most 4 incident
+      diagonals (one per surrounding square);
+    * diameter in ``[max(rows, cols) - 1, rows + cols - 2]`` -- every
+      edge (diagonals included) moves one Chebyshev step, and the
+      lattice alone walks the Manhattan distance.
+
+    ``highways`` adds that many long-range edges between uniformly
+    random vertex pairs -- a motorway overlay on the local street grid.
+    Highways void the degree/diameter bounds above but create the
+    re-relaxation-heavy weighted traversals (shortcut arrivals rewrite
+    whole regions) where direction-optimizing traversal pays off; the
+    wall-clock road scenario leans on this.
+
+    Undirected (symmetrized) storage; deterministic for a given seed.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid_road needs at least a 2x2 grid")
+    if not 0.0 <= diagonal_fraction <= 1.0:
+        raise ValueError("diagonal_fraction must be in [0, 1]")
+    if highways < 0:
+        raise ValueError("highways must be non-negative")
+    n = rows * cols
+    rng = np.random.default_rng(seed)
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    r, c = r.ravel(), c.ravel()
+    vid = r * cols + c
+    right = vid[c < cols - 1]
+    down = vid[r < rows - 1]
+    srcs = [right, down]
+    dsts = [right + 1, down + cols]
+    square = vid[(r < rows - 1) & (c < cols - 1)]  # top-left corners
+    chosen = square[rng.random(len(square)) < diagonal_fraction]
+    down_right = rng.random(len(chosen)) < 0.5
+    srcs.append(np.where(down_right, chosen, chosen + 1))
+    dsts.append(np.where(down_right, chosen + cols + 1, chosen + cols))
+    if highways:
+        hw_src = rng.integers(0, n, size=highways)
+        hw_dst = rng.integers(0, n, size=highways)
+        keep = hw_src != hw_dst
+        srcs.append(hw_src[keep])
+        dsts.append(hw_dst[keep])
+    src = np.concatenate(srcs).astype(np.int64)
+    dst = np.concatenate(dsts).astype(np.int64)
+    src, dst = _dedup_pairs(src, dst, n)
+    half = EdgeList(n, src.astype(VID_DTYPE), dst.astype(VID_DTYPE), name=name)
+    out = half.symmetrized()
+    out.name = name
+    return out
+
+
 # ----------------------------------------------------------------------
 # Triangulations and planar graphs (delaunay_n13, ak2010)
 # ----------------------------------------------------------------------

@@ -101,13 +101,26 @@ class WallclockCase:
     """One fully constructed ``bench-wallclock`` scenario.
 
     ``engines`` maps ``"fast"``/``"slow"`` to ready-to-run GraphReduce
-    engines that must produce bit-identical results and simulated
-    timelines -- only their host-side wall clock may differ.
+    engines that must produce bit-identical results -- only their host-
+    side wall clock may differ. When ``same_timeline`` is True the two
+    sides must also agree on the simulated timeline and frontier
+    history; direction-optimizing cases set it False because pull
+    iterations legitimately improve vertices one iteration earlier than
+    push (the converged values stay bit-identical, and the harness still
+    enforces that).
     ``metrics_engine`` is the traced configuration whose deterministic
-    simulated metrics go into the committed snapshot. ``extra`` (if set)
-    runs once after timing -- subprocess probes and gates live there --
-    and its dict is merged into the measurement; ``cleanup`` (if set)
-    always runs, even when the case fails.
+    simulated metrics go into the committed snapshot; it mirrors the
+    slow side's timeline for same-timeline cases and the fast side's
+    otherwise.
+    ``variants`` (if set) maps extra labels to engines timed alongside
+    fast/slow -- fixed-direction runs, say -- recorded as
+    ``wall_seconds_<label>`` and ``speedup_vs_<label>`` (variant time
+    over fast time). ``min_variant_ratio`` is the floor those ratios
+    are gated against: 1.05 means the fast side must beat every variant
+    by at least 5%.
+    ``extra`` (if set) runs once after timing -- subprocess probes and
+    gates live there -- and its dict is merged into the measurement;
+    ``cleanup`` (if set) always runs, even when the case fails.
     """
 
     engines: dict
@@ -116,6 +129,9 @@ class WallclockCase:
     min_speedup: float
     extra: Callable | None = None
     cleanup: Callable | None = None
+    same_timeline: bool = True
+    variants: dict | None = None
+    min_variant_ratio: float = 0.0
 
 
 def _ooc_wallclock_case(shard_store=None, memory_budget=None) -> WallclockCase:
@@ -263,14 +279,16 @@ def _wallclock_cases(shard_store=None, memory_budget=None) -> dict[str, Callable
     The PageRank case is the classic fixed-iteration power formulation
     (``tolerance=None``): every vertex active and changed each round, so
     dense plans are built once and reused -- the workload the fast paths
-    target. BFS's frontier changes every iteration, so no plan is ever
-    reusable; its case documents that the fast-path bookkeeping does not
-    meaningfully slow the workloads that cannot benefit (min_speedup is
-    a pathology guard, not a win claim). ``ooc_pagerank_wallclock``
+    target. The traversal cases (``bfs_wallclock``,
+    ``road_sssp_wallclock``) run direction-optimizing frontiers where no
+    plan repeats across push iterations; the fast-path win there comes
+    from the sparse-plan bypass plus cached dense plans on pull
+    iterations -- see :func:`_bfs_wallclock_case` and
+    :func:`_road_sssp_wallclock_case`. ``ooc_pagerank_wallclock``
     measures the out-of-core tier instead -- see
     :func:`_ooc_wallclock_case`.
     """
-    from repro.algorithms import BFS, PageRank
+    from repro.algorithms import PageRank
     from repro.core.runtime import GraphReduce, GraphReduceOptions
 
     common = dict(cache_policy="never", num_partitions=4, observe=False, trace=False)
@@ -302,10 +320,100 @@ def _wallclock_cases(shard_store=None, memory_budget=None) -> dict[str, Callable
         "pagerank_wallclock": fastpath_case(
             lambda: PageRank(tolerance=None, max_iterations=25), 2.0
         ),
-        "bfs_wallclock": fastpath_case(lambda: BFS(source=0), 0.6),
+        "bfs_wallclock": _bfs_wallclock_case,
+        "road_sssp_wallclock": _road_sssp_wallclock_case,
         "ooc_pagerank_wallclock": lambda: _ooc_wallclock_case(shard_store, memory_budget),
         "procpool_pagerank_wallclock": _procpool_wallclock_case,
     }
+
+
+def _bfs_wallclock_case() -> WallclockCase:
+    """Direction-optimizing BFS vs the push-only slow path.
+
+    BFS frontiers never repeat, so the plan cache alone cannot win this
+    workload (the 0%-hit-rate pathology the sparse bypass fixed). The
+    fast side runs ``direction=auto``: the sparse bypass serves the
+    thin wavefronts and the two near-complete peak iterations of the
+    Erdos-Renyi wave flip to pull, where one cached dense plan replaces
+    a ~45k-row one-shot sparse build per iteration. The slow side is
+    the reference push-only engine with every fast path off.
+
+    ``same_timeline=False``: pull improves vertices one iteration
+    earlier than push (no activation lag), so simulated timelines
+    differ while converged values stay bit-identical. The fixed-
+    direction variants document that ``auto`` beats both pure push and
+    pure pull on the same engine configuration.
+    """
+    from repro.algorithms import BFSGather
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
+    from repro.graph.generators import erdos_renyi
+
+    edges = erdos_renyi(65_536, 1_000_000, seed=7, name="er-wallclock")
+    common = dict(cache_policy="never", num_partitions=4, observe=False, trace=False)
+    fast = GraphReduceOptions(**common, direction="auto")
+    slow = GraphReduceOptions(**common, dense_fast_path=False, plan_cache=False)
+    metrics = GraphReduceOptions(cache_policy="never", num_partitions=4, direction="auto")
+    return WallclockCase(
+        engines={
+            "fast": GraphReduce(edges, options=fast),
+            "slow": GraphReduce(edges, options=slow),
+        },
+        make_program=lambda: BFSGather(source=0),
+        metrics_engine=GraphReduce(edges, options=metrics),
+        min_speedup=1.0,
+        same_timeline=False,
+        variants={
+            "push": GraphReduce(edges, options=GraphReduceOptions(**common)),
+            "pull": GraphReduce(edges, options=GraphReduceOptions(**common, direction="pull")),
+        },
+        min_variant_ratio=1.05,
+    )
+
+
+def _road_sssp_wallclock_case() -> WallclockCase:
+    """Weighted SSSP on a road grid with a motorway overlay.
+
+    The high-diameter scenario where direction switching matters most:
+    highway shortcuts keep rewriting whole regions of the street grid
+    (re-relaxation), so the frontier stays broad for many iterations.
+    Fixed push rebuilds a tens-of-thousands-row sparse plan every broad
+    iteration; fixed pull drags a full dense sweep across the long
+    sparse tail. ``auto`` (tight alpha/beta -- the vectorized pull has
+    no per-vertex early exit, so its profitable window is narrower than
+    Beamer's classic 14/24) pulls only through the broad middle and
+    beats both.
+
+    Fast and slow sides both run the ``auto`` schedule -- direction
+    decisions derive from the natural frontier only, so the timeline is
+    identical and the ratio isolates the host fast paths (cached dense
+    plans are exactly what make pull affordable).
+    """
+    from repro.algorithms import SSSP
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
+    from repro.graph.generators import grid_road
+
+    edges = grid_road(
+        256, 256, diagonal_fraction=0.15, seed=9, name="road-hwy", highways=98_304
+    ).with_random_weights(seed=11)
+    common = dict(cache_policy="never", num_partitions=1, observe=False, trace=False)
+    auto = dict(direction="auto", direction_alpha=2.0, direction_beta=3.0)
+    fast = GraphReduceOptions(**common, **auto)
+    slow = GraphReduceOptions(**common, **auto, dense_fast_path=False, plan_cache=False)
+    metrics = GraphReduceOptions(cache_policy="never", num_partitions=1, **auto)
+    return WallclockCase(
+        engines={
+            "fast": GraphReduce(edges, options=fast),
+            "slow": GraphReduce(edges, options=slow),
+        },
+        make_program=lambda: SSSP(source=0),
+        metrics_engine=GraphReduce(edges, options=metrics),
+        min_speedup=1.3,
+        variants={
+            "push": GraphReduce(edges, options=GraphReduceOptions(**common)),
+            "pull": GraphReduce(edges, options=GraphReduceOptions(**common, direction="pull")),
+        },
+        min_variant_ratio=1.05,
+    )
 
 
 def run_wallclock_suite(
@@ -313,15 +421,16 @@ def run_wallclock_suite(
 ) -> dict:
     """Measure the host fast paths; returns ``{name: measurement}``.
 
-    Each case runs twice per repeat -- fast and slow configurations,
-    interleaved so machine drift cancels out of the ratio -- after
-    ``warmup`` untimed passes per side, and keeps the best wall time of
-    each side.
-    Both sides must produce bit-identical ``vertex_values`` and
-    simulated time (the fast paths and the out-of-core tier are
-    semantics-preserving by contract; the harness enforces it). A final
-    traced pass records the deterministic device metrics, which
-    ``repro bench-check`` gates like any other snapshot.
+    Each case runs every engine per repeat -- fast, slow and any
+    fixed-direction variants, interleaved so machine drift cancels out
+    of the ratios -- after ``warmup`` untimed passes per side, and
+    keeps the best wall time of each.
+    Every engine must produce bit-identical ``vertex_values`` (the fast
+    paths, direction switching and the out-of-core tier are
+    value-preserving by contract; the harness enforces it); cases with
+    ``same_timeline`` additionally pin the simulated time and frontier
+    history. A final traced pass records the deterministic device
+    metrics, which ``repro bench-check`` gates like any other snapshot.
 
     ``shard_store``/``memory_budget`` parameterize the out-of-core case:
     reuse an existing store directory instead of building a temporary
@@ -335,38 +444,54 @@ def run_wallclock_suite(
     for name, factory in sorted(_wallclock_cases(shard_store, memory_budget).items()):
         case = factory()
         try:
+            engines = dict(case.engines)
+            engines.update(case.variants or {})
             results: dict = {}
-            times: dict[str, list[float]] = {"fast": [], "slow": []}
+            times: dict[str, list[float]] = {key: [] for key in engines}
             for _ in range(max(0, warmup)):  # allocator, caches, page-ins
-                for key, eng in case.engines.items():
+                for key, eng in engines.items():
                     eng.run(case.make_program())
             for _ in range(max(1, repeats)):
-                for key, eng in case.engines.items():
+                for key, eng in engines.items():
                     t0 = time.perf_counter()
                     results[key] = eng.run(case.make_program())
                     times[key].append(time.perf_counter() - t0)
             fast_r, slow_r = results["fast"], results["slow"]
-            if not np.array_equal(fast_r.vertex_values, slow_r.vertex_values):
-                raise AssertionError(f"{name}: fast/slow paths disagree on vertex values")
-            if fast_r.sim_time != slow_r.sim_time:
-                raise AssertionError(
-                    f"{name}: fast paths perturbed the simulated timeline "
-                    f"({fast_r.sim_time} vs {slow_r.sim_time})"
-                )
-            if fast_r.frontier_history != slow_r.frontier_history:
-                raise AssertionError(f"{name}: fast/slow paths disagree on frontier history")
+            for key, r in results.items():
+                if not np.array_equal(fast_r.vertex_values, r.vertex_values):
+                    raise AssertionError(
+                        f"{name}: fast/{key} paths disagree on vertex values"
+                    )
+            if case.same_timeline:
+                if fast_r.sim_time != slow_r.sim_time:
+                    raise AssertionError(
+                        f"{name}: fast paths perturbed the simulated timeline "
+                        f"({fast_r.sim_time} vs {slow_r.sim_time})"
+                    )
+                if fast_r.frontier_history != slow_r.frontier_history:
+                    raise AssertionError(
+                        f"{name}: fast/slow paths disagree on frontier history"
+                    )
             metrics_r = case.metrics_engine.run(case.make_program())
-            if metrics_r.sim_time != slow_r.sim_time:
+            # The traced engine mirrors the slow side's schedule for
+            # same-timeline cases and the fast side's otherwise
+            # (direction-differing cases trace the auto schedule).
+            if metrics_r.sim_time != (slow_r if case.same_timeline else fast_r).sim_time:
                 raise AssertionError(f"{name}: traced metrics run diverged from timed runs")
             m = measure(metrics_r)
-            best_fast, best_slow = min(times["fast"]), min(times["slow"])
+            best = {key: min(vals) for key, vals in times.items()}
             m.update(
-                wall_seconds_fast=best_fast,
-                wall_seconds_slow=best_slow,
-                speedup=best_slow / best_fast,
+                wall_seconds_fast=best["fast"],
+                wall_seconds_slow=best["slow"],
+                speedup=best["slow"] / best["fast"],
                 min_speedup=case.min_speedup,
                 plan_cache=metrics_r.plan_cache,
             )
+            for key in case.variants or ():
+                m[f"wall_seconds_{key}"] = best[key]
+                m[f"speedup_vs_{key}"] = best[key] / best["fast"]
+            if case.variants:
+                m["min_variant_ratio"] = case.min_variant_ratio
             prefetch = getattr(metrics_r, "prefetch", None)
             if prefetch:
                 m["prefetch"] = {k: v for k, v in prefetch.items() if k != "lane"}
@@ -431,15 +556,36 @@ def check_wallclock(baseline: dict, fresh: dict, tolerance: float = DEFAULT_TOLE
     regressions via :func:`compare` (wall-clock fields are machine-
     dependent and never compared across machines), plus cases whose
     *fresh, same-machine* speedup fell below their ``min_speedup``
-    floor.
+    floor. Cases with direction variants also gate each
+    ``speedup_vs_<variant>`` ratio against ``min_variant_ratio`` --
+    the "auto beats both fixed directions" claim, re-proved on every
+    machine the gate runs on.
     """
-    regressions = compare(baseline, fresh, tolerance=tolerance)
+    return compare(baseline, fresh, tolerance=tolerance), floor_failures(fresh)
+
+
+def floor_failures(fresh: dict) -> list[tuple[str, float, float]]:
+    """Same-machine speedup-floor violations of a fresh wall-clock run.
+
+    ``(case, measured, floor)`` rows: the fast/slow ``speedup`` against
+    ``min_speedup``, and -- for cases with direction variants -- each
+    ``speedup_vs_<variant>`` ratio against ``min_variant_ratio``. The
+    CLI enforces these on every invocation, including ``--update``, so
+    a regressed fast path cannot be silently baked into the snapshot.
+    """
     failures = [
         (name, m["speedup"], m["min_speedup"])
         for name, m in sorted(fresh.items())
         if m.get("min_speedup") and m["speedup"] < m["min_speedup"]
     ]
-    return regressions, failures
+    for name, m in sorted(fresh.items()):
+        floor = m.get("min_variant_ratio")
+        if not floor:
+            continue
+        for key, ratio in sorted(m.items()):
+            if key.startswith("speedup_vs_") and ratio < floor:
+                failures.append((f"{name}[vs_{key[len('speedup_vs_'):]}]", ratio, floor))
+    return failures
 
 
 @dataclass(frozen=True)
@@ -551,18 +697,14 @@ def metric_table(doc: dict) -> dict[str, dict[str, float]]:
             # Wall-clock fields (bench-wallclock snapshots) surface as
             # informational rows: not in _HIGHER_IS_WORSE, so growth in
             # a machine-dependent timing never fails a diff.
+            fixed = ("sim_time", "memcpy_time", "kernel_time", "iterations")
             row = {
                 k: float(m[k])
-                for k in (
-                    "sim_time",
-                    "memcpy_time",
-                    "kernel_time",
-                    "iterations",
-                    "wall_seconds_fast",
-                    "wall_seconds_slow",
-                    "speedup",
-                )
-                if k in m
+                for k in m
+                if k in fixed
+                or k.startswith("wall_seconds_")
+                or k == "speedup"
+                or k.startswith("speedup_vs_")
             }
             for ph, v in m.get("phases", {}).items():
                 row[f"phase:{ph}"] = float(v)

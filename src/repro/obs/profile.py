@@ -324,13 +324,15 @@ class ProfileReport:
     def _plan_cache_line(self) -> str:
         pc = self.plan_cache
         queries = pc.get("hits", 0) + pc.get("misses", 0)
-        if not queries:
+        bypass = pc.get("sparse_bypass", 0)
+        if not queries and not bypass:
             return "plan cache         : disabled (no plan queries recorded)"
         return (
-            f"plan cache         : {pc['hits']}/{queries} hits "
+            f"plan cache         : {pc.get('hits', 0)}/{queries} hits "
             f"({100 * pc.get('hit_rate', 0.0):.1f}%), "
             f"{pc.get('invalidations', 0)} invalidations, "
-            f"{pc.get('evictions', 0)} evictions (host fast paths)"
+            f"{pc.get('evictions', 0)} evictions, "
+            f"{bypass} sparse bypasses (host fast paths)"
         )
 
     def _prefetch_line(self) -> str:
@@ -526,6 +528,7 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
             "misses": int(misses),
             "invalidations": int(metrics.value("plans.invalidations")),
             "evictions": int(metrics.value("plans.evictions")),
+            "sparse_bypass": int(metrics.value("plans.sparse_bypass")),
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         }
 

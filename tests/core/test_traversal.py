@@ -1,0 +1,341 @@
+"""Direction-optimizing traversal: equivalence matrix + decision rule.
+
+Push, pull and auto must be *bit-identical* on final values: pull runs
+an iteration with a superset frontier, which is a no-op for the extra
+vertices exactly when apply is improvement-driven (the
+``pull_compatible`` contract). The matrix checks BFS levels and SSSP
+distances against the pure-Python references and against each other
+across execution backends and storage, plus structural parent-validity
+invariants that would catch a "right by accident" fixed point.
+
+Cost control: the full direction x backend x storage cross product is
+run serially in-RAM on every fixture graph; the expensive legs --
+process pools (one spawn per run) and on-disk shard stores -- run the
+full direction set on a representative subset (path/road/ER/R-MAT
+cover the frontier shapes that drive every code path).
+
+The second half pins the DirectionController itself: the recorded
+per-iteration decisions must replay the Beamer alpha/beta hysteresis
+rule exactly, and `auto` must be deterministic for a given graph+seed
+(hypothesis over generator parameters).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.fixture_graphs import FIXTURE_NAMES, build
+from tests.references import bfs_levels, sssp_distances
+from repro.algorithms import BFS, BFSGather, ConnectedComponents, DeltaSSSP, SSSP
+from repro.core.frontier import DirectionController
+from repro.core.partition import PartitionEngine
+from repro.core.runtime import GraphReduce, GraphReduceOptions
+from repro.core.shardstore import ShardStore
+from repro.graph.generators import erdos_renyi, grid_road, rmat
+
+DIRECTIONS = ("push", "pull", "auto")
+BACKENDS = {
+    "serial": dict(parallel_backend="serial"),
+    "threads": dict(parallel_shards=3, parallel_backend="threads"),
+    "processes": dict(parallel_shards=2, parallel_backend="processes"),
+}
+#: representative subset for the expensive legs (see module docstring)
+CORE_GRAPHS = ("path300", "road10x10", "er_small", "rmat_small")
+
+
+def _options(direction, backend, **kw):
+    return GraphReduceOptions(
+        num_partitions=3, direction=direction, **BACKENDS[backend], **kw
+    )
+
+
+def _check_bfs(graph, levels, source=0):
+    """Parent validity: the levels form a valid BFS tree layering."""
+    ref = bfs_levels(graph, source)
+    np.testing.assert_array_equal(levels, ref)
+    assert levels[source] == 0.0
+    # Every reached vertex at depth d > 0 has an in-neighbor at d - 1,
+    # and no edge jumps a layer (|level(dst) - level(src)| <= 1 when
+    # both ends are reached).
+    finite = np.isfinite(levels)
+    lsrc = levels[graph.src]
+    ldst = levels[graph.dst]
+    both = np.isfinite(lsrc) & np.isfinite(ldst)
+    assert (ldst[both] <= lsrc[both] + 1).all()
+    has_parent = np.zeros(graph.num_vertices, dtype=bool)
+    parent_ok = np.isfinite(lsrc) & (ldst == lsrc + 1)
+    has_parent[graph.dst[parent_ok]] = True
+    need_parent = finite & (levels > 0)
+    assert has_parent[need_parent].all()
+
+
+def _check_sssp(graph, dist, source=0):
+    """Distances are the exact float32 Bellman-Ford fixpoint."""
+    ref = sssp_distances(graph, source)
+    np.testing.assert_array_equal(dist, ref)
+    assert dist[source] == 0.0
+    # No edge can still relax, and every finite non-source distance is
+    # witnessed by some in-edge (a valid shortest-path parent).
+    w = dist[graph.src] + graph.weights.astype(np.float32)
+    relaxable = w.astype(np.float32) < dist[graph.dst]
+    assert not relaxable.any()
+    witnessed = np.zeros(graph.num_vertices, dtype=bool)
+    exact = w.astype(np.float32) == dist[graph.dst]
+    witnessed[graph.dst[exact & np.isfinite(w)]] = True
+    need = np.isfinite(dist)
+    need[source] = False
+    assert witnessed[need].all()
+
+
+@pytest.mark.parametrize("graph_name", FIXTURE_NAMES)
+def test_direction_matrix_in_ram(graph_name):
+    g = build(graph_name)
+    weighted = g.with_random_weights(seed=33)
+    for direction in DIRECTIONS:
+        for backend in ("serial", "threads"):
+            opts = _options(direction, backend)
+            r = GraphReduce(g, options=opts).run(BFSGather(source=0))
+            _check_bfs(g, r.vertex_values)
+            s = GraphReduce(weighted, options=opts).run(SSSP(source=0))
+            _check_sssp(weighted, s.vertex_values)
+
+
+@pytest.mark.parametrize("graph_name", CORE_GRAPHS)
+def test_direction_matrix_processes(graph_name):
+    g = build(graph_name)
+    weighted = g.with_random_weights(seed=33)
+    for direction in DIRECTIONS:
+        opts = _options(direction, "processes")
+        r = GraphReduce(g, options=opts).run(BFSGather(source=0))
+        _check_bfs(g, r.vertex_values)
+        s = GraphReduce(weighted, options=opts).run(SSSP(source=0))
+        _check_sssp(weighted, s.vertex_values)
+
+
+@pytest.mark.parametrize("graph_name", CORE_GRAPHS)
+def test_direction_matrix_shard_store(graph_name, tmp_path):
+    g = build(graph_name)
+    store = ShardStore.save(
+        PartitionEngine().partition(g, 3), tmp_path / "store"
+    )
+    for direction in DIRECTIONS:
+        for backend in ("serial", "threads", "processes"):
+            opts = GraphReduceOptions(
+                direction=direction, **BACKENDS[backend]
+            )
+            r = GraphReduce(shard_store=store, options=opts).run(
+                BFSGather(source=0)
+            )
+            _check_bfs(g, r.vertex_values)
+
+
+@pytest.mark.parametrize("graph_name", ("path300", "road10x10", "er_mid"))
+def test_cc_pull_matches_push(graph_name):
+    g = build(graph_name)
+    sym = g if g.undirected else g.symmetrized()
+    push = GraphReduce(sym, options=_options("push", "serial")).run(
+        ConnectedComponents()
+    )
+    for direction in ("pull", "auto"):
+        r = GraphReduce(sym, options=_options(direction, "serial")).run(
+            ConnectedComponents()
+        )
+        np.testing.assert_array_equal(push.vertex_values, r.vertex_values)
+
+
+# ----------------------------------------------------------------------
+# Delta-stepping SSSP
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("graph_name", CORE_GRAPHS + ("er_mid", "two_cliques"))
+def test_delta_sssp_matches_plain(graph_name):
+    g = build(graph_name).with_random_weights(seed=33)
+    base = GraphReduce(g, options=_options("push", "serial")).run(SSSP(source=0))
+    for delta in (0.1, 0.5, 2.0, 100.0):
+        r = GraphReduce(g, options=_options("push", "serial")).run(
+            DeltaSSSP(source=0, delta=delta)
+        )
+        np.testing.assert_array_equal(base.vertex_values, r.vertex_values)
+        assert r.converged
+    _check_sssp(g, base.vertex_values)
+
+
+def test_delta_sssp_defers_out_of_bucket_work():
+    # A tiny bucket width forces reseeds: more iterations than plain
+    # SSSP, strictly bucketed propagation, same distances.
+    g = build("road10x10").with_random_weights(seed=7)
+    plain = GraphReduce(g, options=_options("push", "serial")).run(SSSP(source=0))
+    delta = GraphReduce(g, options=_options("push", "serial")).run(
+        DeltaSSSP(source=0, delta=0.05)
+    )
+    np.testing.assert_array_equal(plain.vertex_values, delta.vertex_values)
+    assert delta.iterations > plain.iterations
+
+
+def test_delta_sssp_rejects_processes_backend():
+    g = build("er_small").with_random_weights(seed=1)
+    opts = GraphReduceOptions(
+        num_partitions=3, parallel_shards=2, parallel_backend="processes"
+    )
+    with pytest.raises(ValueError, match="process_safe"):
+        GraphReduce(g, options=opts).run(DeltaSSSP(source=0))
+
+
+def test_delta_sssp_validates_delta():
+    with pytest.raises(ValueError, match="delta"):
+        DeltaSSSP(source=0, delta=0.0)
+
+
+# ----------------------------------------------------------------------
+# Guard rails
+# ----------------------------------------------------------------------
+def test_pull_rejected_for_push_only_program():
+    g = build("er_small")
+    for direction in ("pull", "auto"):
+        opts = GraphReduceOptions(direction=direction)
+        with pytest.raises(ValueError, match="pull-compatible"):
+            GraphReduce(g, options=opts).run(BFS(source=0))
+
+
+def test_unknown_direction_rejected():
+    g = build("er_small")
+    with pytest.raises(ValueError, match="direction"):
+        GraphReduce(g, options=GraphReduceOptions(direction="sideways")).run(
+            BFSGather(source=0)
+        )
+
+
+def test_controller_validates_thresholds():
+    deg = np.ones(4, dtype=np.int64)
+    with pytest.raises(ValueError, match="direction"):
+        DirectionController("diagonal", deg, 4, 4)
+    with pytest.raises(ValueError, match="positive"):
+        DirectionController("auto", deg, 4, 4, alpha=0.0)
+
+
+# ----------------------------------------------------------------------
+# Sparse-plan bypass regression (the 0%-hit-rate BFS pathology)
+# ----------------------------------------------------------------------
+def test_sparse_bypass_pins_path_bfs():
+    """BFS waves on a path never repeat; they must bypass the cache.
+
+    Before the bypass every iteration's plan query was a miss (0% hit
+    rate, ~2 misses per iteration) and the fast path *lost* to the slow
+    path on traversal. Pin that every sparse wave skips the epoch/LRU
+    machinery: misses stay bounded by a per-shard constant instead of
+    growing with the iteration count.
+    """
+    g = build("path300")
+    opts = GraphReduceOptions(num_partitions=3)
+    r = GraphReduce(g, options=opts).run(BFS(source=0))
+    assert r.iterations == 300
+    pc = r.plan_cache
+    assert pc["sparse_bypass"] > 0
+    # Without the bypass this would be ~600 (two queries per iteration).
+    assert pc["misses"] <= 2 * 3
+    assert pc["hits"] + pc["misses"] + pc["sparse_bypass"] > 0
+
+
+def test_sparse_bypass_can_be_disabled():
+    g = build("path300")
+    opts = GraphReduceOptions(num_partitions=3, sparse_bypass=False)
+    r = GraphReduce(g, options=opts).run(BFS(source=0))
+    assert r.plan_cache["sparse_bypass"] == 0
+    assert r.plan_cache["misses"] > 100  # the old pathology, on demand
+    base = GraphReduce(g, options=GraphReduceOptions(num_partitions=3)).run(
+        BFS(source=0)
+    )
+    np.testing.assert_array_equal(r.vertex_values, base.vertex_values)
+
+
+def test_sparse_bypass_leaves_dense_workloads_alone():
+    # PageRank's steady state is a dense frontier: the bypass pre-check
+    # must not fire (no bypass counts) and dense-plan hits must remain.
+    from repro.algorithms import PageRank
+
+    g = build("er_mid")
+    r = GraphReduce(g, options=GraphReduceOptions(num_partitions=3)).run(
+        PageRank(tolerance=None, max_iterations=8)
+    )
+    assert r.plan_cache["sparse_bypass"] == 0
+    assert r.plan_cache["hits"] > 0
+
+
+def test_procpool_aggregates_sparse_bypass():
+    g = build("path300")
+    opts = GraphReduceOptions(
+        num_partitions=3, parallel_shards=2, parallel_backend="processes"
+    )
+    r = GraphReduce(g, options=opts).run(BFS(source=0))
+    assert r.plan_cache["sparse_bypass"] > 0
+
+
+# ----------------------------------------------------------------------
+# The alpha/beta rule: recorded decisions replay it exactly
+# ----------------------------------------------------------------------
+def _replay(decisions, num_vertices, alpha, beta):
+    """Re-run the hysteresis state machine from the recorded inputs."""
+    state = "push"
+    out = []
+    for d in decisions:
+        if state == "push" and d.frontier_edges > d.unexplored_edges / alpha:
+            state = "pull"
+        elif state == "pull" and d.frontier_size < num_vertices / beta:
+            state = "push"
+        out.append(state)
+    return out
+
+
+@pytest.mark.parametrize("graph_name", ("road10x10", "er_mid", "rmat_small"))
+def test_auto_decisions_match_alpha_beta_rule(graph_name):
+    g = build(graph_name)
+    alpha, beta = 14.0, 24.0
+    opts = GraphReduceOptions(
+        num_partitions=3, direction="auto",
+        direction_alpha=alpha, direction_beta=beta,
+    )
+    r = GraphReduce(g, options=opts).run(BFSGather(source=0))
+    ds = r.direction_decisions
+    assert [d.iteration for d in ds] == list(range(len(ds)))
+    assert [d.direction for d in ds] == _replay(ds, g.num_vertices, alpha, beta)
+    # The recorded inputs are consistent: unexplored edges only shrink
+    # and frontier out-degree sums match the graph.
+    unexplored = [d.unexplored_edges for d in ds]
+    assert all(a >= b >= 0 for a, b in zip(unexplored, unexplored[1:]))
+    assert unexplored[0] <= g.num_edges
+    # IterationStats carry the same per-iteration direction.
+    assert [s.direction for s in r.iteration_stats] == [d.direction for d in ds]
+
+
+@given(
+    kind=st.sampled_from(["er", "rmat", "grid"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    alpha=st.floats(min_value=1.0, max_value=64.0),
+    beta=st.floats(min_value=1.0, max_value=64.0),
+)
+@settings(max_examples=12, deadline=None)
+def test_auto_is_deterministic_and_replayable(kind, seed, alpha, beta):
+    if kind == "er":
+        g = erdos_renyi(180, 900, seed=seed)
+    elif kind == "rmat":
+        g = rmat(7, 800, seed=seed)
+    else:
+        g = grid_road(10, 10, 0.2, seed=seed)
+    opts = GraphReduceOptions(
+        num_partitions=3, direction="auto",
+        direction_alpha=alpha, direction_beta=beta,
+    )
+    runs = [GraphReduce(g, options=opts).run(BFSGather(source=0)) for _ in range(2)]
+    a, b = runs
+    np.testing.assert_array_equal(a.vertex_values, b.vertex_values)
+    assert [(d.iteration, d.direction, d.frontier_size, d.frontier_edges,
+             d.unexplored_edges) for d in a.direction_decisions] == [
+        (d.iteration, d.direction, d.frontier_size, d.frontier_edges,
+         d.unexplored_edges) for d in b.direction_decisions
+    ]
+    assert [d.direction for d in a.direction_decisions] == _replay(
+        a.direction_decisions, g.num_vertices, alpha, beta
+    )
+    push = GraphReduce(
+        g, options=GraphReduceOptions(num_partitions=3)
+    ).run(BFSGather(source=0))
+    np.testing.assert_array_equal(a.vertex_values, push.vertex_values)

@@ -131,3 +131,84 @@ def test_simple_families():
     k = gen.complete_graph(4)
     assert k.num_edges == 12
     assert is_symmetric(k)
+
+
+def test_grid_road_determinism_and_symmetry():
+    a = gen.grid_road(12, 9, 0.2, seed=4)
+    b = gen.grid_road(12, 9, 0.2, seed=4)
+    assert np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)
+    assert is_symmetric(a)
+    assert a.undirected
+    assert a.num_vertices == 12 * 9
+    c = gen.grid_road(12, 9, 0.2, seed=5)
+    assert not (
+        a.num_edges == c.num_edges
+        and np.array_equal(a.src, c.src)
+        and np.array_equal(a.dst, c.dst)
+    )
+
+
+def test_grid_road_degree_bound():
+    # 4 lattice neighbors + at most one diagonal per surrounding square.
+    g = gen.grid_road(15, 15, 1.0, seed=0)  # every square gets a diagonal
+    assert int(g.out_degrees().max()) <= 8
+    assert int(g.in_degrees().max()) <= 8
+
+
+def test_grid_road_diameter_bounds():
+    from tests.references import bfs_levels
+
+    rows, cols = 14, 9
+    for frac in (0.0, 0.3, 1.0):
+        g = gen.grid_road(rows, cols, frac, seed=2)
+        levels = bfs_levels(g, 0)
+        assert np.isfinite(levels).all()  # connected
+        ecc = int(levels.max())
+        # Every edge (diagonals included) is one Chebyshev step; the
+        # lattice walks the Manhattan distance.
+        assert max(rows, cols) - 1 <= ecc <= rows + cols - 2
+
+
+def test_grid_road_edge_counts():
+    rows, cols = 10, 10
+    lattice = rows * (cols - 1) + cols * (rows - 1)
+    none = gen.grid_road(rows, cols, 0.0, seed=0)
+    assert none.num_edges == 2 * lattice  # symmetrized storage
+    full = gen.grid_road(rows, cols, 1.0, seed=0)
+    assert full.num_edges == 2 * (lattice + (rows - 1) * (cols - 1))
+
+
+def test_grid_road_validation():
+    with pytest.raises(ValueError, match="2x2"):
+        gen.grid_road(1, 5)
+    with pytest.raises(ValueError, match="diagonal_fraction"):
+        gen.grid_road(4, 4, 1.5)
+
+
+def test_grid_road_highways_deterministic_overlay():
+    base = gen.grid_road(12, 9, 0.2, seed=4)
+    a = gen.grid_road(12, 9, 0.2, seed=4, highways=50)
+    b = gen.grid_road(12, 9, 0.2, seed=4, highways=50)
+    assert np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)
+    # Strictly more edges than the street grid, bounded by the overlay
+    # size (self-loops dropped, duplicates deduped, symmetrized).
+    assert base.num_edges < a.num_edges <= base.num_edges + 2 * 50
+    # The overlay leaves the street grid intact: every base edge is
+    # still present.
+    pairs = set(zip(a.src.tolist(), a.dst.tolist()))
+    assert all((s, d) in pairs for s, d in zip(base.src.tolist(), base.dst.tolist()))
+
+
+def test_grid_road_highways_shrink_diameter():
+    from tests.references import bfs_levels
+
+    rows, cols = 20, 20
+    local = gen.grid_road(rows, cols, 0.2, seed=3)
+    overlay = gen.grid_road(rows, cols, 0.2, seed=3, highways=300)
+    assert np.isfinite(bfs_levels(overlay, 0)).all()  # still connected
+    assert int(bfs_levels(overlay, 0).max()) < int(bfs_levels(local, 0).max())
+
+
+def test_grid_road_highways_validation():
+    with pytest.raises(ValueError, match="highways"):
+        gen.grid_road(4, 4, 0.2, highways=-1)
