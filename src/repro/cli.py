@@ -12,6 +12,9 @@
     python -m repro bench-check --snapshot benchmarks/BENCH_baseline.json
     python -m repro bench-wallclock --update
     python -m repro bench-diff old.json new.json
+    python -m repro run --graph orkut --algorithm pagerank --telemetry-out run.jsonl
+    python -m repro monitor run.jsonl
+    python -m repro telemetry-report run.jsonl --out report.json
 
 ``run`` executes one algorithm under GraphReduce and prints the result
 summary plus the simulated performance profile; ``compare`` adds every
@@ -26,7 +29,10 @@ fast-path wall-clock speedups (fast vs slow configuration, same
 machine) against ``benchmarks/BENCH_wallclock.json``, gating both the
 recorded simulated metrics and the per-case speedup floors; and
 ``bench-diff`` prints per-phase / per-counter deltas between any two
-bench or profile snapshots. Graphs
+bench, profile, or telemetry-report snapshots; ``monitor`` tails a
+run's ``--telemetry-out`` JSONL stream as a live terminal view (or
+``--once`` for CI health checks); and ``telemetry-report`` folds a
+finished stream into a diffable report document. Graphs
 are either Table-1 dataset names or paths to edge-list / ``.npz`` /
 MatrixMarket files.
 
@@ -42,6 +48,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -110,6 +118,25 @@ def _fastpath_options(args) -> dict:
         # 0 means unbounded (the pre-budget behavior); otherwise bytes.
         opts["plan_cache_budget"] = args.plan_cache_budget or None
     return opts
+
+
+def _telemetry_config(args):
+    """TelemetryConfig from the ``--telemetry-*`` flags, or None when off."""
+    if not args.telemetry_out and not args.flight_recorder:
+        return None
+    from repro.obs.telemetry import TelemetryConfig
+
+    if args.telemetry_out:
+        # The bus appends (the serial fallback reopens the sink
+        # mid-run); a fresh invocation starts from a clean stream.
+        Path(args.telemetry_out).write_text("")
+    return TelemetryConfig(
+        out=args.telemetry_out,
+        interval=args.telemetry_interval,
+        budget_bytes=args.telemetry_budget,
+        flight_recorder=args.flight_recorder,
+        stall_timeout=args.stall_timeout,
+    )
 
 
 def load_graph(spec: str) -> EdgeList:
@@ -211,6 +238,9 @@ def cmd_run(args) -> int:
             **_fastpath_options(args),
         )
     )
+    telemetry_cfg = _telemetry_config(args)
+    if telemetry_cfg is not None:
+        opts = replace(opts, telemetry=telemetry_cfg)
     engine, graph = _make_engine(args, opts)
     result = engine.run(program, max_iterations=args.max_iterations)
     vals = result.vertex_values
@@ -236,6 +266,17 @@ def cmd_run(args) -> int:
         print(f"direction  : {args.direction} "
               f"({pulls}/{len(result.direction_decisions)} pull iterations)")
     _print_prefetch(result)
+    if result.telemetry is not None:
+        t = result.telemetry
+        line = f"telemetry  : {t['records']} records"
+        if t.get("out"):
+            line += f" -> {t['out']}"
+        line += f", {len(t['incidents'])} incidents"
+        fr = t.get("flight_recorder")
+        if fr:
+            line += (f", flight recorder {fr['spans']['recorded']} spans "
+                     f"({fr['spans']['dropped']} dropped)")
+        print(line)
     finite = vals[np.isfinite(vals)]
     if len(finite):
         print(f"values     : min {finite.min():.4g}, max {finite.max():.4g}, "
@@ -525,6 +566,85 @@ def cmd_bench_wallclock(args) -> int:
     return 0
 
 
+def _monitor_problems(args, state) -> int:
+    problems = state.problems(
+        expect_workers=args.expect_workers,
+        fail_on_incident=args.fail_on_incident,
+    )
+    for problem in problems:
+        print(f"problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def cmd_monitor(args) -> int:
+    from repro.obs.monitor import MonitorState, follow, read_records, render
+
+    path = Path(args.stream)
+    state = MonitorState()
+    if args.once:
+        if not path.exists():
+            print(f"error: telemetry stream {path} not found", file=sys.stderr)
+            return 2
+        try:
+            for record in read_records(str(path)):
+                state.ingest(record)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render(state))
+        return _monitor_problems(args, state)
+    waited = 0.0
+    while not path.exists():
+        if waited >= args.wait:
+            print(f"error: telemetry stream {path} did not appear within "
+                  f"{args.wait:g}s", file=sys.stderr)
+            return 2
+        time.sleep(min(args.poll, 0.2))
+        waited += min(args.poll, 0.2)
+    repaint = sys.stdout.isatty()
+    try:
+        for record in follow(str(path), poll=args.poll):
+            state.ingest(record)
+            if record.get("kind") in ("run_start", "snapshot", "incident",
+                                      "run_end"):
+                view = render(state)
+                if repaint:
+                    print("\x1b[2J\x1b[H" + view, flush=True)
+                else:
+                    print(view + "\n", flush=True)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return _monitor_problems(args, state)
+
+
+def cmd_telemetry_report(args) -> int:
+    from repro.obs.monitor import fold_stream, read_records, report_text
+
+    path = Path(args.stream)
+    if not path.exists():
+        print(f"error: telemetry stream {path} not found", file=sys.stderr)
+        return 2
+    try:
+        records = read_records(str(path))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print("error: stream holds no telemetry records", file=sys.stderr)
+        return 2
+    doc = fold_stream(records)
+    print(report_text(doc))
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_compare(args) -> int:
     from repro.baselines import CuSha, GraphChi, MapGraph, Totem, XStream
     from repro.sim.memory import DeviceOOMError
@@ -607,6 +727,33 @@ def _add_fastpath_args(p) -> None:
     )
 
 
+def _add_telemetry_args(p) -> None:
+    p.add_argument(
+        "--telemetry-out", default=None,
+        help="stream live telemetry (JSONL, schema-versioned) to this "
+             "file; tail it with `repro monitor`",
+    )
+    p.add_argument(
+        "--telemetry-interval", type=float, default=0.5,
+        help="minimum wall seconds between snapshot records (default 0.5; "
+             "0 emits one per iteration)",
+    )
+    p.add_argument(
+        "--telemetry-budget", type=int, default=1 << 20,
+        help="flight-recorder ring-buffer budget in bytes (default 1 MiB)",
+    )
+    p.add_argument(
+        "--flight-recorder", action="store_true",
+        help="record spans into bounded rings (O(budget) memory) instead "
+             "of the unbounded observer tree",
+    )
+    p.add_argument(
+        "--stall-timeout", type=float, default=30.0,
+        help="seconds without a heartbeat before the watchdog declares a "
+             "busy worker/prefetcher stalled (default 30)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="GraphReduce (SC'15) reproduction CLI"
@@ -646,6 +793,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="bulk-synchronous phases (paper) or asynchronous sweeps",
     )
     _add_store_args(run_p)
+    _add_telemetry_args(run_p)
+
+    mon_p = sub.add_parser(
+        "monitor", help="live terminal view of a run's telemetry stream"
+    )
+    mon_p.add_argument(
+        "stream", help="telemetry JSONL path (a run's --telemetry-out)"
+    )
+    mon_p.add_argument("--poll", type=float, default=0.2,
+                       help="tail poll interval in seconds (default 0.2)")
+    mon_p.add_argument(
+        "--once", action="store_true",
+        help="render the stream's current state once and exit instead of "
+             "tailing until run_end",
+    )
+    mon_p.add_argument(
+        "--expect-workers", type=int, default=None,
+        help="exit 1 unless heartbeats from at least this many workers "
+             "appear in the latest snapshot",
+    )
+    mon_p.add_argument(
+        "--fail-on-incident", action="store_true",
+        help="exit 1 if the stream recorded any incident",
+    )
+    mon_p.add_argument(
+        "--wait", type=float, default=30.0,
+        help="seconds to wait for the stream file to appear when tailing "
+             "(default 30)",
+    )
+
+    rep_p = sub.add_parser(
+        "telemetry-report",
+        help="fold a finished telemetry stream into a diffable report",
+    )
+    rep_p.add_argument("stream", help="telemetry JSONL path")
+    rep_p.add_argument(
+        "--out", default=None,
+        help="also write the report document (telemetry_version JSON, "
+             "diffable with `repro bench-diff`) here",
+    )
 
     part_p = sub.add_parser(
         "partition", help="build an on-disk shard store from a graph"
@@ -796,6 +983,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench-check": cmd_bench_check,
         "bench-wallclock": cmd_bench_wallclock,
         "bench-diff": cmd_bench_diff,
+        "monitor": cmd_monitor,
+        "telemetry-report": cmd_telemetry_report,
     }
     return commands[args.command](args)
 

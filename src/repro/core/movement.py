@@ -113,12 +113,27 @@ class HostPrefetcher:
     ``drop_shard``) is called under the lock and must not call back in.
     """
 
-    def __init__(self, store, capacity: int, workers: int = 2, obs=None, unit_weights: bool = False):
+    def __init__(
+        self,
+        store,
+        capacity: int,
+        workers: int = 2,
+        obs=None,
+        unit_weights: bool = False,
+        heartbeats=None,
+    ):
         self.store = store
         self.capacity = max(1, int(capacity))
         self.workers = max(0, int(workers))
         self.obs = obs if obs is not None else NULL_OBSERVER
         self.unit_weights = unit_weights
+        #: optional health-watchdog hookup (repro.obs.health): the
+        #: prefetcher beats on every completed load and is marked busy
+        #: only while loads are outstanding, so an idle cache between
+        #: phases never reads as a stall.
+        self.heartbeats = heartbeats
+        if heartbeats is not None:
+            heartbeats.register("prefetcher", kind="prefetcher")
         #: eviction hook: called with the shard index being dropped
         self.on_evict = None
         self.hits = 0
@@ -168,6 +183,8 @@ class HostPrefetcher:
                 self._futures[idx] = self._pool.submit(self._load_async, idx)
             ahead += 1
             j += 1
+        if self.heartbeats is not None:
+            self.heartbeats.busy("prefetcher", bool(self._futures))
 
     def _load_async(self, index: int):
         t0 = time.perf_counter()
@@ -180,6 +197,10 @@ class HostPrefetcher:
             self.prefetched += 1
             self.bytes_loaded += arrays.nbytes
             self.lane.append(("prefetch", index, t0 - self._t0, t1 - self._t0))
+            outstanding = bool(self._futures)
+        if self.heartbeats is not None:
+            self.heartbeats.beat("prefetcher")
+            self.heartbeats.busy("prefetcher", outstanding)
         self.obs.add("prefetch.prefetched")
         self.obs.add("prefetch.bytes", arrays.nbytes)
         return arrays
@@ -284,6 +305,10 @@ class HostPrefetcher:
         with self._lock:
             self._futures.clear()
             self._cache.clear()
+        if self.heartbeats is not None:
+            # Clean teardown: an unregistered component can never be
+            # flagged by a post-shutdown watchdog pass.
+            self.heartbeats.unregister("prefetcher")
 
     def snapshot(self) -> dict:
         """Counters + the host activity lane (the result's ``prefetch``)."""

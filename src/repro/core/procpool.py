@@ -434,6 +434,7 @@ class ProcessPool:
         store=None,
         unit_weights: bool = False,
         task_timeout: float = 300.0,
+        telemetry=None,
     ):
         import multiprocessing as mp
 
@@ -443,6 +444,18 @@ class ProcessPool:
         self._num_vertices = sharded.num_vertices
         self.num_workers = max(1, min(int(workers), sharded.num_partitions))
         self.task_timeout = task_timeout
+        # Health-watchdog hookup (repro.obs.telemetry.RunTelemetry):
+        # workers register heartbeats on attach, beat on every task
+        # result, and carry a busy flag while tasks are outstanding.
+        # A busy worker whose heartbeat goes quiet past the stall
+        # timeout is escalated from the blocking result wait as
+        # WorkerCrashed -- the runtime's serial fallback takes over.
+        self._telemetry = telemetry
+        self._heartbeats = telemetry.heartbeats if telemetry is not None else None
+        self._stall_timeout = (
+            telemetry.config.stall_timeout if telemetry is not None else 0.0
+        )
+        self._outstanding = [0] * self.num_workers
         self.tasks = 0
         self.max_inflight = 0
         self.publish_seconds = 0.0
@@ -554,6 +567,8 @@ class ProcessPool:
                 continue
             if msg[0] == "ready":
                 ready += 1
+                if self._heartbeats is not None:
+                    self._heartbeats.register(f"worker-{msg[1]}", kind="worker")
             elif msg[0] == "init_error":
                 raise WorkerCrashed(f"worker {msg[1]} failed to attach:\n{msg[2]}")
 
@@ -608,6 +623,11 @@ class ProcessPool:
         self.tasks += len(shards)
         self.max_inflight = max(self.max_inflight, len(shards))
         self._obs.add("procpool.tasks", len(shards))
+        if self._heartbeats is not None:
+            for shard in shards:
+                w = shard.index % self.num_workers
+                self._outstanding[w] += 1
+                self._heartbeats.busy(f"worker-{w}", True)
         pending: dict[int, tuple] = {}
 
         def collect(shard):
@@ -624,17 +644,61 @@ class ProcessPool:
                 msg = self._result_q.get(timeout=0.1)
             except queue.Empty:
                 self._check_alive()
+                self._check_stalled(index)
                 if perf_counter() > deadline:
                     raise WorkerCrashed(f"timed out waiting for shard {index}")
                 continue
             kind = msg[0]
             if kind == "ok":
                 pending[msg[1]] = msg
+                if self._heartbeats is not None:
+                    w = msg[2]
+                    self._outstanding[w] -= 1
+                    self._heartbeats.beat(f"worker-{w}")
+                    if self._outstanding[w] <= 0:
+                        self._heartbeats.busy(f"worker-{w}", False)
             elif kind == "task_error":
                 raise WorkerCrashed(f"worker {msg[2]} raised on shard {msg[1]}:\n{msg[3]}")
             # "ready"/"bye" stragglers are ignored
         self.wait_seconds += perf_counter() - t0
         return pending.pop(index)
+
+    def _check_stalled(self, index: int) -> None:
+        """Escalate a confirmed worker stall to :class:`WorkerCrashed`.
+
+        Run from the blocking result wait: the one place the pool can
+        still act on a hang. A worker counts as stalled only when it
+        has tasks outstanding (idle workers legitimately emit no beats)
+        and its last heartbeat is older than the telemetry stall
+        timeout -- a SIGSTOP'd or livelocked worker, not a slow one.
+        """
+        if self._heartbeats is None or not self._stall_timeout:
+            return
+        w = index % self.num_workers
+        if self._outstanding[w] <= 0:
+            return
+        name = f"worker-{w}"
+        age = self._heartbeats.age(name)
+        if age is None or age <= self._stall_timeout:
+            return
+        from repro.obs.health import Incident
+
+        incident = Incident(
+            kind="stall",
+            component=name,
+            component_kind="worker",
+            age=age,
+            wall_time=self._heartbeats.clock(),
+            details=(
+                f"worker {w} has shard {index} outstanding with no "
+                f"heartbeat for {age:.3f}s "
+                f"(stall timeout {self._stall_timeout:.3f}s); "
+                "escalating to serial fallback"
+            ),
+        )
+        if self._telemetry is not None:
+            self._telemetry.watchdog.incident(incident)
+        raise WorkerCrashed(incident.details)
 
     def _replay(self, payload: tuple) -> WorkItems:
         _, shard_index, worker_id, per_phase, deltas, t_start, t_end = payload
@@ -672,6 +736,9 @@ class ProcessPool:
         if self._closed:
             return
         self._closed = True
+        if self._heartbeats is not None:
+            for w in range(self.num_workers):
+                self._heartbeats.unregister(f"worker-{w}")
         for task_q in self._task_qs:
             try:
                 task_q.put((_STOP,))

@@ -41,6 +41,7 @@ from repro.core.partition import PartitionEngine, ShardedGraph
 from repro.core.plans import PlanCache
 from repro.graph.edgelist import EdgeList
 from repro.obs.span import NULL_OBSERVER, Observer
+from repro.obs.telemetry import FlightRecorder, RunTelemetry, TelemetryConfig
 from repro.sim.device import GPUDevice
 from repro.sim.engine import Simulator
 from repro.sim.specs import MachineSpec, default_machine
@@ -142,6 +143,15 @@ class GraphReduceOptions:
     #: see :mod:`repro.obs`); when off the runtime uses the shared
     #: no-op recorder and the instrumentation costs one method call
     observe: bool = True
+    #: live telemetry (see :mod:`repro.obs.telemetry`): a
+    #: :class:`~repro.obs.telemetry.TelemetryConfig` turns on the
+    #: streaming bus (periodic JSONL snapshots a concurrent ``repro
+    #: monitor`` tails), the health watchdog over the main loop /
+    #: pool workers / prefetcher, and -- when its ``flight_recorder``
+    #: flag is set -- the bounded ring-buffer span recorder in place
+    #: of the unbounded tree. ``None`` (default) adds nothing: the
+    #: NULL_OBSERVER zero-overhead path is untouched.
+    telemetry: "TelemetryConfig | None" = None
 
     @staticmethod
     def unoptimized() -> "GraphReduceOptions":
@@ -240,6 +250,9 @@ class GraphReduceResult:
     #: process-pool totals + per-worker wall-clock lane (``processes``
     #: backend only; None otherwise)
     procpool: dict | None = None
+    #: telemetry summary (records emitted, incidents, flight-recorder
+    #: occupancy); None unless ``options.telemetry`` was set
+    telemetry: dict | None = None
     #: per-iteration :class:`repro.core.frontier.DirectionDecision`
     #: records (options.direction != 'push' only; None otherwise)
     direction_decisions: list | None = None
@@ -340,7 +353,21 @@ class GraphReduce:
 
         # --- Simulated device + observability --------------------------
         sim = Simulator()
-        obs = Observer(clock=lambda: sim.now) if opts.observe else NULL_OBSERVER
+        if opts.telemetry is not None and opts.telemetry.flight_recorder:
+            # Bounded black box for long-lived runs: spans go to fixed
+            # rings instead of the O(run) tree. Metrics stay exact.
+            obs = FlightRecorder(
+                clock=lambda: sim.now, budget_bytes=opts.telemetry.budget_bytes
+            )
+        elif opts.observe:
+            obs = Observer(clock=lambda: sim.now)
+        else:
+            obs = NULL_OBSERVER
+        telem = (
+            RunTelemetry(opts.telemetry, sim=sim, obs=obs)
+            if opts.telemetry is not None
+            else None
+        )
         run_span_cm = obs.span(
             "run", category="run", algo=program.name, graph=edges.name
         )
@@ -364,6 +391,12 @@ class GraphReduce:
         prefetcher = None
         executor = None
         pool = None
+        telemetry_summary = None
+        # Initialized before the try so the telemetry run_end in the
+        # finally block has defined values even when setup raises.
+        converged = False
+        iteration = 0
+        run_error = None
         # One try/finally covers everything from here on: the prefetcher
         # (and later the executor/pool) own threads, processes and
         # shared-memory segments that must be released even when setup
@@ -379,6 +412,7 @@ class GraphReduce:
                         resident_bytes,
                         obs,
                         warm=not use_pool,
+                        telemetry=telem,
                     )
                     part_span.set(
                         num_partitions=sharded.num_partitions,
@@ -402,6 +436,17 @@ class GraphReduce:
                     part_span.set(
                         num_partitions=sharded.num_partitions, logic=opts.partition_logic
                     )
+
+            if telem is not None:
+                telem.start(
+                    algorithm=program.name,
+                    graph=edges.name,
+                    backend=opts.parallel_backend,
+                    workers=opts.parallel_shards,
+                    num_vertices=edges.num_vertices,
+                    num_edges=edges.num_edges,
+                    num_shards=sharded.num_partitions,
+                )
 
             device = GPUDevice(sim, self.machine.device, TraceRecorder(enabled=opts.trace))
             movement = DataMovementEngine(
@@ -471,6 +516,8 @@ class GraphReduce:
                 sparse=opts.sparse_bypass,
             )
             compute = ComputeEngine(sharded, program, ctx, frontier, obs=obs, plans=plans)
+            if telem is not None and plans.enabled:
+                telem.add_source("plan_cache", plans.stats)
             if prefetcher is not None:
                 # Dense plans alias the memmapped shard arrays by reference;
                 # eviction must drop them or the mappings stay pinned.
@@ -504,7 +551,15 @@ class GraphReduce:
                         and with_weights
                         and not self.shard_store.weighted
                     ),
+                    telemetry=telem,
                 )
+                if telem is not None:
+                    telem.add_source(
+                        "procpool",
+                        lambda p=pool: {
+                            k: v for k, v in p.snapshot().items() if k != "lane"
+                        },
+                    )
 
             # --- Iterations --------------------------------------------
             controller = None
@@ -518,8 +573,6 @@ class GraphReduce:
                     beta=opts.direction_beta,
                 )
             limit = max_iterations if max_iterations is not None else opts.max_iterations
-            converged = False
-            iteration = 0
             frontier_bytes = edges.num_vertices // 8 + 1
             iteration_stats: list[IterationStat] = []
             if (
@@ -631,10 +684,18 @@ class GraphReduce:
                     )
                 )
                 obs.add("runtime.iterations")
+                if telem is not None:
+                    telem.iteration(iteration, frontier_size, direction=direction)
                 frontier.advance()
                 iteration += 1
             else:
                 converged = frontier.size == 0
+        except BaseException as exc:
+            # Captured explicitly: sys.exc_info() in the finally would
+            # also see an *outer* handled exception (the serial
+            # fallback re-executes inside the WorkerCrashed handler).
+            run_error = exc
+            raise
         finally:
             if pool is not None:
                 pool.shutdown()
@@ -642,6 +703,15 @@ class GraphReduce:
                 executor.shutdown(wait=True)
             if prefetcher is not None:
                 prefetcher.shutdown()
+            if telem is not None:
+                # After the pools are down so the leaked-thread check
+                # sees the post-shutdown state; emits run_end and
+                # closes the sink even when setup or a phase raised.
+                telemetry_summary = telem.finish(
+                    iteration,
+                    converged,
+                    error=repr(run_error) if run_error else None,
+                )
 
         run_span.set(iterations=iteration, converged=converged)
         run_span_cm.__exit__(None, None, None)
@@ -674,11 +744,12 @@ class GraphReduce:
             edge_state=compute.edge_state,
             trace=trace,
             iteration_stats=iteration_stats,
-            observer=obs if opts.observe else None,
+            observer=obs if obs.enabled else None,
             engine_snapshots=engine_snapshots,
             plan_cache=plan_cache_stats,
             prefetch=prefetcher.snapshot() if prefetcher is not None else None,
             procpool=pool_snapshot,
+            telemetry=telemetry_summary,
             direction_decisions=(
                 controller.decisions if controller is not None else None
             ),
@@ -686,7 +757,15 @@ class GraphReduce:
 
     # ------------------------------------------------------------------
     def _open_store(
-        self, program, opts, with_weights, with_state, resident_bytes, obs, warm=True
+        self,
+        program,
+        opts,
+        with_weights,
+        with_state,
+        resident_bytes,
+        obs,
+        warm=True,
+        telemetry=None,
     ):
         """Lazy sharded view + budgeted prefetcher over ``shard_store``.
 
@@ -724,7 +803,15 @@ class GraphReduce:
             workers=opts.prefetch_workers if (opts.host_prefetch and warm) else 0,
             obs=obs,
             unit_weights=unit_weights,
+            heartbeats=telemetry.heartbeats if telemetry is not None else None,
         )
+        if telemetry is not None:
+            telemetry.add_source(
+                "prefetch",
+                lambda p=prefetcher: {
+                    k: v for k, v in p.snapshot().items() if k != "lane"
+                },
+            )
         for shard in sharded.shards:
             shard.bind(prefetcher)
         return sharded, prefetcher

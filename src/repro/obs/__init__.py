@@ -19,7 +19,13 @@ first-class version of that instrumentation:
   (per-engine occupancy, overlap efficiency, frontier-skip
   effectiveness) behind ``repro profile``;
 * :mod:`repro.obs.attribution` -- bottleneck verdicts with tuning
-  recommendations, and the Eq. (1)/(2) + cost-model validation pass.
+  recommendations, and the Eq. (1)/(2) + cost-model validation pass;
+* :mod:`repro.obs.telemetry` -- the live telemetry bus (schema-versioned
+  JSONL streaming, bounded flight recorder) behind ``--telemetry-out``;
+* :mod:`repro.obs.health` -- heartbeat registry and stall watchdog for
+  long-lived runs (workers, prefetcher threads, the main loop);
+* :mod:`repro.obs.monitor` -- the ``repro monitor`` live view and the
+  ``repro telemetry-report`` stream folder.
 """
 
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
@@ -31,22 +37,41 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.attribution import ModelCheck, Verdict, diagnose, validate_cost_model
+from repro.obs.health import HeartbeatRegistry, Incident, Watchdog
+from repro.obs.monitor import MonitorState, fold_stream, follow, read_records
 from repro.obs.profile import ProfileReport, build_profile, write_profile
+from repro.obs.telemetry import (
+    FlightRecorder,
+    RunTelemetry,
+    TelemetryBus,
+    TelemetryConfig,
+)
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
+    "HeartbeatRegistry",
     "Histogram",
+    "Incident",
     "MetricsRegistry",
     "ModelCheck",
+    "MonitorState",
     "NULL_OBSERVER",
     "NoopObserver",
     "Observer",
     "ProfileReport",
+    "RunTelemetry",
     "Span",
+    "TelemetryBus",
+    "TelemetryConfig",
     "Verdict",
+    "Watchdog",
     "build_profile",
     "diagnose",
+    "fold_stream",
+    "follow",
     "observer_to_json",
+    "read_records",
     "result_to_chrome_trace",
     "to_chrome_trace",
     "validate_cost_model",

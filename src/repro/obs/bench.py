@@ -324,7 +324,75 @@ def _wallclock_cases(shard_store=None, memory_budget=None) -> dict[str, Callable
         "road_sssp_wallclock": _road_sssp_wallclock_case,
         "ooc_pagerank_wallclock": lambda: _ooc_wallclock_case(shard_store, memory_budget),
         "procpool_pagerank_wallclock": _procpool_wallclock_case,
+        "telemetry_pagerank_wallclock": _telemetry_overhead_wallclock_case,
     }
+
+
+def _telemetry_overhead_wallclock_case() -> WallclockCase:
+    """Live telemetry enabled vs disabled: the <=5% overhead gate.
+
+    Both sides run the identical PageRank configuration; the *fast*
+    side additionally streams live telemetry (per-iteration snapshots
+    to a JSONL sink, heartbeat watchdog polling). The harness computes
+    ``speedup = slow / fast``, i.e. disabled time over enabled time, so
+    the ``min_speedup`` floor of 0.952 caps telemetry overhead at
+    ``1/0.952 - 1`` (~5%): if streaming telemetry slows the run more
+    than that on this machine, the gate fails. ``interval=0.0`` makes
+    every iteration emit a snapshot -- the worst-case publishing rate,
+    far denser than the default half-second throttle.
+
+    ``extra`` folds the stream afterwards and asserts it actually
+    recorded snapshots and zero incidents -- guarding against the
+    degenerate "zero overhead because nothing was written" pass.
+    """
+    import shutil
+    import tempfile
+
+    from repro.algorithms import PageRank
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
+    from repro.graph.generators import erdos_renyi
+    from repro.obs.telemetry import TelemetryConfig
+
+    edges = erdos_renyi(65_536, 1_000_000, seed=7, name="er-wallclock")
+    tmp = Path(tempfile.mkdtemp(prefix="repro-telemetry-bench-"))
+    stream = tmp / "telemetry.jsonl"
+    common = dict(cache_policy="never", num_partitions=4, observe=False, trace=False)
+    fast = GraphReduceOptions(
+        **common,
+        telemetry=TelemetryConfig(out=str(stream), interval=0.0),
+    )
+    slow = GraphReduceOptions(**common)
+    metrics = GraphReduceOptions(cache_policy="never", num_partitions=4)
+
+    def extra(metrics_result):
+        from repro.obs.monitor import fold_stream, read_records
+
+        doc = fold_stream(read_records(str(stream)))
+        if not doc["snapshots"]:
+            raise AssertionError("telemetry stream recorded no snapshots")
+        if doc["incidents"]:
+            raise AssertionError(
+                f"telemetry run raised {doc['incidents']} incidents"
+            )
+        return {
+            "telemetry": {
+                "records": doc["records"],
+                "snapshots": doc["snapshots"],
+                "incidents": doc["incidents"],
+            }
+        }
+
+    return WallclockCase(
+        engines={
+            "fast": GraphReduce(edges, options=fast),
+            "slow": GraphReduce(edges, options=slow),
+        },
+        make_program=lambda: PageRank(tolerance=None, max_iterations=20),
+        metrics_engine=GraphReduce(edges, options=metrics),
+        min_speedup=0.952,
+        extra=extra,
+        cleanup=lambda: shutil.rmtree(tmp, ignore_errors=True),
+    )
 
 
 def _bfs_wallclock_case() -> WallclockCase:
@@ -686,10 +754,14 @@ class DiffRow:
 def metric_table(doc: dict) -> dict[str, dict[str, float]]:
     """Normalize a snapshot document to ``{case: {metric: value}}``.
 
-    Accepts both formats ``repro`` writes: bench snapshots
-    (``bench-check``'s ``{"version", "benchmarks": ...}``) and profiler
-    documents (``repro profile``'s ``profile.json``), so any two of
-    them diff against each other.
+    Accepts every format ``repro`` writes: bench snapshots
+    (``bench-check``'s ``{"version", "benchmarks": ...}``), profiler
+    documents (``repro profile``'s ``profile.json``), and folded
+    telemetry reports (``repro telemetry-report``'s
+    ``telemetry_version`` docs), so any two of them diff against each
+    other. Documents carrying an unsupported schema version are
+    rejected with :class:`ValueError` so ``bench-diff`` fails cleanly
+    instead of comparing fields it misreads.
     """
     if "benchmarks" in doc:
         out = {}
@@ -710,7 +782,41 @@ def metric_table(doc: dict) -> dict[str, dict[str, float]]:
                 row[f"phase:{ph}"] = float(v)
             out[name] = row
         return out
+    if "telemetry_version" in doc:
+        if doc["telemetry_version"] != 1:
+            raise ValueError(
+                "unsupported telemetry report version "
+                f"{doc['telemetry_version']!r} (this build reads version 1)"
+            )
+        run = doc.get("run", {})
+        name = (
+            f"telemetry:{run.get('algorithm', '?')}/"
+            f"{run.get('backend') or 'serial'}"
+        )
+        row = {
+            k: float(doc[k])
+            for k in (
+                "sim_time",
+                "iterations",
+                "snapshots",
+                "frontier_peak",
+                "incidents",
+            )
+            if doc.get(k) is not None
+        }
+        # Wall-clock rates are informational (machine-dependent): the
+        # wall_seconds_ prefix keeps them out of _HIGHER_IS_WORSE.
+        if doc.get("wall_seconds") is not None:
+            row["wall_seconds_stream"] = float(doc["wall_seconds"])
+        for cname, v in doc.get("counters", {}).items():
+            row[f"counter:{cname}"] = float(v)
+        return {name: row}
     if "profile_version" in doc:
+        if doc["profile_version"] != 1:
+            raise ValueError(
+                f"unsupported profile version {doc['profile_version']!r} "
+                "(this build reads version 1)"
+            )
         name = f"{doc.get('algo', '?')}/{doc.get('graph', '?')}"
         row = {
             k: float(doc[k])
@@ -727,7 +833,8 @@ def metric_table(doc: dict) -> dict[str, dict[str, float]]:
         return {name: row}
     raise ValueError(
         "unrecognized snapshot: expected a bench-check snapshot "
-        "('benchmarks') or a profile.json ('profile_version')"
+        "('benchmarks'), a profile.json ('profile_version'), or a "
+        "telemetry report ('telemetry_version')"
     )
 
 

@@ -242,9 +242,13 @@ class ProfileReport:
     prefetch: dict = field(default_factory=dict)
     #: process-pool backend counters (repro.core.procpool)
     procpool: dict = field(default_factory=dict)
+    #: histogram summaries (count/mean/p50/p90/p99 + log2 buckets) of
+    #: every observed distribution -- frontier sizes, prefetch waits
+    histograms: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
+            "schema": PROFILE_VERSION,
             "profile_version": PROFILE_VERSION,
             "algo": self.algo,
             "graph": self.graph,
@@ -260,6 +264,7 @@ class ProfileReport:
             "frontier": self.frontier.to_dict(),
             "phases": self.phases,
             "counters": self.counters,
+            "histograms": self.histograms,
             "plan_cache": self.plan_cache,
             "prefetch": self.prefetch,
             "procpool": self.procpool,
@@ -318,6 +323,20 @@ class ProfileReport:
             for s in busiest:
                 lines.append(
                     f"{s.name:14s} {s.busy_seconds:12.6f} {s.transfers:7d} {s.kernels:8d}"
+                )
+        if self.histograms:
+            lines += [
+                "",
+                f"{'distribution':26s} {'count':>8s} {'mean':>11s} "
+                f"{'p50':>11s} {'p90':>11s} {'p99':>11s}",
+            ]
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                p = h.get("percentiles", {})
+                lines.append(
+                    f"{name:26s} {h.get('count', 0):8d} {h.get('mean', 0.0):11.4g} "
+                    f"{p.get('p50', 0.0):11.4g} {p.get('p90', 0.0):11.4g} "
+                    f"{p.get('p99', 0.0):11.4g}"
                 )
         return "\n".join(lines)
 
@@ -581,6 +600,9 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
         frontier=frontier,
         phases=phases,
         counters={n: c.value for n, c in sorted(metrics.counters.items())},
+        histograms={
+            n: h.to_dict() for n, h in sorted(metrics.histograms.items()) if h.count
+        },
         verdict=verdict,
         validation=validation,
         plan_cache=plan_cache,

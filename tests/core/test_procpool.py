@@ -255,3 +255,103 @@ def test_unknown_backend_rejected():
         GraphReduce(
             g, options=GraphReduceOptions(parallel_backend="fibers")
         ).run(PROGRAMS["bfs"]())
+
+
+# ----------------------------------------------------------------------
+# Watchdog escalation: a SIGSTOP'd worker is a stall, not a slow task
+# ----------------------------------------------------------------------
+class StallingPageRank(PageRank):
+    """SIGSTOPs its hosting pool worker once, mid-apply, in iteration 1.
+
+    The worker stays alive (``_check_alive`` passes) but stops beating;
+    only the heartbeat stall check can tell this hang from a slow task.
+    """
+
+    def apply(self, ctx, vertex_ids, old_values, gathered, has_gathered, iteration):
+        if (
+            iteration >= 1
+            and os.environ.get(ENV_WORKER_FLAG)
+            and not getattr(self, "_stopped", False)
+        ):
+            self._stopped = True
+            os.kill(os.getpid(), signal.SIGSTOP)
+        return super().apply(ctx, vertex_ids, old_values, gathered, has_gathered, iteration)
+
+
+def _sigcont_stopped_children(done, grace):
+    """SIGCONT any stopped pool worker, after ``grace`` seconds.
+
+    The grace period is longer than the stall timeout plus the pool's
+    0.1s detection poll, so escalation always lands first; the resume
+    then lets the pool's shutdown join the worker instead of leaking a
+    stopped process.
+    """
+    import multiprocessing as mp
+    import time as _time
+
+    deadline = _time.monotonic() + 60.0
+    while _time.monotonic() < deadline and not done.is_set():
+        for proc in mp.active_children():
+            try:
+                with open(f"/proc/{proc.pid}/stat") as fh:
+                    state = fh.read().rsplit(")", 1)[1].split()[0]
+            except (OSError, IndexError):
+                continue
+            if state == "T":
+                _time.sleep(grace)
+                try:
+                    os.kill(proc.pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+        _time.sleep(0.05)
+
+
+def test_sigstopped_worker_escalates_as_stall_incident(tmp_path):
+    import json
+
+    from repro.obs.telemetry import TelemetryConfig
+
+    g = build("er_mid")
+    stream = tmp_path / "telemetry.jsonl"
+    serial = GraphReduce(
+        g, options=GraphReduceOptions(num_partitions=3, parallel_backend="serial")
+    ).run(PageRank(tolerance=1e-3))
+    done = threading.Event()
+    resumer = threading.Thread(
+        target=_sigcont_stopped_children, args=(done, 2.0), daemon=True
+    )
+    resumer.start()
+    try:
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            recovered = GraphReduce(
+                g,
+                options=GraphReduceOptions(
+                    num_partitions=3,
+                    telemetry=TelemetryConfig(
+                        out=str(stream),
+                        interval=3600.0,
+                        stall_timeout=0.75,
+                        watchdog_poll=30.0,
+                    ),
+                    **POOL,
+                ),
+            ).run(StallingPageRank(tolerance=1e-3))
+    finally:
+        done.set()
+        resumer.join(timeout=5.0)
+    # The deterministic serial fallback produced the serial answer.
+    assert recovered.procpool is None
+    assert np.array_equal(recovered.vertex_values, serial.vertex_values)
+    records = [json.loads(l) for l in stream.read_text().splitlines()]
+    stalls = [r for r in records if r.get("kind") == "incident"]
+    assert stalls, "no stall incident reached the telemetry stream"
+    assert stalls[0]["incident_kind"] == "stall"
+    assert stalls[0]["component_kind"] == "worker"
+    assert "escalating to serial fallback" in stalls[0]["details"]
+    # Both executions streamed to the same sink: the pool run ends with
+    # the WorkerCrashed error, the fallback run ends converged.
+    ends = [r for r in records if r.get("kind") == "run_end"]
+    assert len(ends) == 2
+    assert "WorkerCrashed" in ends[0]["error"]
+    assert ends[0]["incidents"] >= 1
+    assert ends[1]["error"] is None and ends[1]["converged"]

@@ -144,6 +144,62 @@ class TestMetrics:
         rt = Histogram.from_dict("h", json.loads(json.dumps(h.to_dict())))
         assert rt.to_dict() == h.to_dict()
 
+    def test_quantiles_track_the_distribution(self):
+        h = Histogram("h")
+        for v in range(1, 1001):
+            h.observe(v)
+        p = h.percentiles()
+        assert set(p) == {"p50", "p90", "p99"}
+        # Log2 buckets bound the error by the bucket width (2x).
+        assert 250 <= p["p50"] <= 1000
+        assert p["p50"] <= p["p90"] <= p["p99"] <= 1000
+        assert h.quantile(0.0) == 1
+        assert h.quantile(1.0) == 1000
+
+    def test_quantiles_of_a_single_value(self):
+        h = Histogram("h")
+        h.observe(42)
+        assert h.percentiles() == {"p50": 42, "p90": 42, "p99": 42}
+
+    def test_quantiles_empty_and_merge_exact(self):
+        import json
+
+        assert Histogram("h").percentiles() == {}
+        a, b, both = Histogram("h"), Histogram("h"), Histogram("h")
+        for v in (1, 5, 9, 300):
+            a.observe(v)
+            both.observe(v)
+        for v in (2, 70):
+            b.observe(v)
+            both.observe(v)
+        a.merge(b)
+        assert a.percentiles() == both.percentiles()
+        # Derived from buckets/min/max only: survives the JSON trip.
+        rt = Histogram.from_dict("h", json.loads(json.dumps(both.to_dict())))
+        assert rt.percentiles() == both.percentiles()
+
+    def test_to_dict_carries_percentiles_only_when_observed(self):
+        h = Histogram("h")
+        assert "percentiles" not in h.to_dict()
+        h.observe(3)
+        assert h.to_dict()["percentiles"] == {"p50": 3, "p90": 3, "p99": 3}
+
+    def test_snapshot_is_schema_versioned_and_sorted(self):
+        from repro.obs.metrics import METRICS_SCHEMA_VERSION
+
+        m = MetricsRegistry()
+        m.add("zeta")
+        m.add("alpha")
+        m.observe("mid", 4)
+        snap = m.snapshot()
+        assert snap["schema"] == METRICS_SCHEMA_VERSION
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        # A pre-schema document is accepted; a future one is refused.
+        legacy = {k: v for k, v in snap.items() if k != "schema"}
+        assert MetricsRegistry.from_snapshot(legacy).snapshot() == snap
+        with pytest.raises(ValueError, match="schema mismatch"):
+            MetricsRegistry.from_snapshot({**snap, "schema": 99})
+
     def test_registry_merge(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         a.add("bytes", 100)

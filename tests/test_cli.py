@@ -345,3 +345,91 @@ class TestBenchCheckUpdate:
         )
         assert code == 0
         assert bench.load_snapshot(snap)["tolerance"] == 0.05
+
+
+class TestTelemetryCli:
+    def _stream(self, tmp_path, capsys, *extra):
+        stream = tmp_path / "run.jsonl"
+        code, out = run_cli(
+            capsys, "run", "--graph", "delaunay_n13", "--algorithm",
+            "pagerank", "--telemetry-out", str(stream),
+            "--telemetry-interval", "0", *extra,
+        )
+        assert code == 0
+        assert "telemetry  :" in out and str(stream) in out
+        return stream, out
+
+    def test_run_streams_and_monitor_once_passes(self, tmp_path, capsys):
+        stream, _ = self._stream(tmp_path, capsys)
+        code, out = run_cli(
+            capsys, "monitor", str(stream), "--once", "--fail-on-incident",
+        )
+        assert code == 0
+        assert "run: pagerank" in out
+        assert "run ended: converged" in out
+        assert "incidents: none" in out
+
+    def test_run_truncates_a_stale_stream(self, tmp_path, capsys):
+        stream = tmp_path / "run.jsonl"
+        stream.write_text('{"schema": 1, "kind": "run_start"}\n' * 5)
+        self._stream(tmp_path, capsys)
+        records = [
+            json.loads(l) for l in stream.read_text().splitlines()
+        ]
+        assert sum(r["kind"] == "run_start" for r in records) == 1
+
+    def test_flight_recorder_summary_line(self, tmp_path, capsys):
+        _, out = self._stream(
+            tmp_path, capsys, "--flight-recorder", "--telemetry-budget",
+            str(16 * 512),
+        )
+        assert "flight recorder" in out and "dropped" in out
+
+    def test_monitor_expect_workers_fails_serial_run(self, tmp_path, capsys):
+        stream, _ = self._stream(tmp_path, capsys)
+        code = main(["monitor", str(stream), "--once", "--expect-workers", "2"])
+        assert code == 1
+        assert "expected heartbeats from 2 workers" in capsys.readouterr().err
+
+    def test_monitor_missing_stream_exits_2(self, tmp_path, capsys):
+        code = main(["monitor", str(tmp_path / "nope.jsonl"), "--once"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_monitor_rejects_schema_mismatch(self, tmp_path, capsys):
+        stream = tmp_path / "bad.jsonl"
+        stream.write_text('{"schema": 99, "kind": "run_start"}\n')
+        code = main(["monitor", str(stream), "--once"])
+        assert code == 2
+        assert "schema mismatch" in capsys.readouterr().err
+
+    def test_live_monitor_tails_until_run_end(self, tmp_path, capsys):
+        stream, _ = self._stream(tmp_path, capsys)
+        code, out = run_cli(
+            capsys, "monitor", str(stream), "--poll", "0.01",
+            "--fail-on-incident",
+        )
+        assert code == 0
+        assert "run ended: converged" in out
+
+    def test_telemetry_report_folds_and_diffs(self, tmp_path, capsys):
+        stream, _ = self._stream(tmp_path, capsys)
+        report = tmp_path / "report.json"
+        code, out = run_cli(
+            capsys, "telemetry-report", str(stream), "--out", str(report),
+        )
+        assert code == 0
+        assert "telemetry report: pagerank" in out
+        doc = json.loads(report.read_text())
+        assert doc["telemetry_version"] == 1
+        assert doc["converged"] is True
+        code, out = run_cli(
+            capsys, "bench-diff", str(report), str(report), "--all",
+        )
+        assert code == 0
+        assert "telemetry:pagerank/threads" in out
+
+    def test_telemetry_report_missing_stream_exits_2(self, tmp_path, capsys):
+        code = main(["telemetry-report", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
