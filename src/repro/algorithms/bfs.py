@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.api import GASProgram
+from repro.core.kernels import ApplySpec, GatherSpec
 
 #: Depth marker for vertices not yet reached.
 UNREACHED = np.float32(np.inf)
@@ -59,6 +60,9 @@ class BFS(GASProgram):
         unvisited = np.isinf(old_vals)
         new_vals = np.where(unvisited, np.float32(iteration), old_vals)
         return new_vals, unvisited
+
+    def apply_kernel_spec(self):
+        return ApplySpec(kind="mark_level")
 
 
 class BFSGather(GASProgram):
@@ -100,3 +104,14 @@ class BFSGather(GASProgram):
         # The source must report "changed" once to seed FrontierActivate.
         changed = improved | ((vids == self.source) & (iteration == 0))
         return new_vals, changed
+
+    # Fused shapes: depth + 1 reduced with min, then keep-the-improvement.
+    # The source clamp above is outcome-neutral (every gathered candidate
+    # is >= 1 > 0 = the source's depth, so ``improved`` is False at the
+    # source either way); plain min_improve with the iteration-0 seed
+    # reproduces apply() bit-for-bit.
+    def gather_kernel_spec(self):
+        return GatherSpec(kind="add_one", reduce="min")
+
+    def apply_kernel_spec(self):
+        return ApplySpec(kind="min_improve", source=self.source)

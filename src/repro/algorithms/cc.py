@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.api import GASProgram
+from repro.core.kernels import ApplySpec, GatherSpec
 
 
 class ConnectedComponents(GASProgram):
@@ -39,3 +40,10 @@ class ConnectedComponents(GASProgram):
         changed = candidate < old_vals
         new_vals = np.where(changed, candidate, old_vals)
         return new_vals, changed
+
+    # Fused shapes: forward the label, min-reduce, keep the smaller one.
+    def gather_kernel_spec(self):
+        return GatherSpec(kind="copy", reduce="min")
+
+    def apply_kernel_spec(self):
+        return ApplySpec(kind="min_improve")

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.api import GASProgram
+from repro.core.kernels import ApplySpec, GatherSpec
 
 
 class PageRank(GASProgram):
@@ -76,3 +77,16 @@ class PageRank(GASProgram):
 
     def converged(self, ctx, iteration, frontier_size):
         return iteration >= self.max_iterations
+
+    # Fused shapes: rank/deg summed per destination, then an affine
+    # update -- the same float32 ops apply() performs, in the same order.
+    def gather_kernel_spec(self):
+        return GatherSpec(kind="div_degree", reduce="add")
+
+    def apply_kernel_spec(self):
+        if self.tolerance is None:
+            return ApplySpec(kind="affine", base=float(self.base),
+                             scale=float(self.damping), changed_mode="all")
+        return ApplySpec(kind="affine", base=float(self.base),
+                         scale=float(self.damping), tol=float(self.tolerance),
+                         changed_mode="tol")

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.api import GASProgram
+from repro.core.kernels import ApplySpec, GatherSpec
 
 
 class SpMV(GASProgram):
@@ -45,3 +46,11 @@ class SpMV(GASProgram):
     def apply(self, ctx, vids, old_vals, gathered, has_gather, iteration):
         y = np.where(has_gather, gathered, np.float32(0.0)).astype(old_vals.dtype)
         return y, np.zeros(len(vids), dtype=bool)
+
+    # Fused shapes: w * x summed per row; the identity affine (scale 1,
+    # base 0 -- both skipped by the kernels, so y passes through exactly).
+    def gather_kernel_spec(self):
+        return GatherSpec(kind="mul_weight", reduce="add")
+
+    def apply_kernel_spec(self):
+        return ApplySpec(kind="affine", changed_mode="none")

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.api import GASProgram
+from repro.core.kernels import ApplySpec, GatherSpec
 
 UNREACHED = np.float32(np.inf)
 
@@ -52,6 +53,14 @@ class SSSP(GASProgram):
         # nothing improves its distance of zero.
         changed = improved | ((vids == self.source) & (iteration == 0))
         return new_vals, changed
+
+    # Fused shapes: dist + w reduced with min per destination, then a
+    # keep-the-improvement apply with the iteration-0 source seed.
+    def gather_kernel_spec(self):
+        return GatherSpec(kind="add_weight", reduce="min")
+
+    def apply_kernel_spec(self):
+        return ApplySpec(kind="min_improve", source=self.source)
 
 
 class DeltaSSSP(GASProgram):

@@ -113,6 +113,7 @@ def _fastpath_options(args) -> dict:
         "direction_beta": args.direction_beta,
         "parallel_shards": workers,
         "parallel_backend": backend,
+        "kernel_backend": args.kernel_backend,
     }
     if args.plan_cache_budget is not None:
         # 0 means unbounded (the pre-budget behavior); otherwise bytes.
@@ -261,6 +262,12 @@ def cmd_run(args) -> int:
         print(f"plan cache : {pc['hits']}/{queries} hits "
               f"({100 * pc['hit_rate']:.1f}%), {pc['invalidations']} invalidations, "
               f"{pc.get('sparse_bypass', 0)} sparse bypasses")
+    if result.kernels is not None:
+        k = result.kernels
+        print(f"kernels    : {k['backend']} backend, "
+              f"{k.get('fused_calls', 0)} fused calls, "
+              f"{k.get('fallbacks', 0)} fallbacks, "
+              f"arena {k.get('reuses', 0)} reuses")
     if result.direction_decisions is not None:
         pulls = sum(1 for d in result.direction_decisions if d.direction == "pull")
         print(f"direction  : {args.direction} "
@@ -724,6 +731,16 @@ def _add_fastpath_args(p) -> None:
         "--plan-cache-budget", type=int, default=None,
         help="LRU byte budget for the gather/scatter plan cache "
              "(default 256 MiB; 0 = unbounded)",
+    )
+    p.add_argument(
+        "--kernel-backend", choices=("auto", "numpy", "numba", "off"),
+        default="auto",
+        help="fused gather/apply/activate kernel backend: whole-array "
+             "NumPy primitives (numpy), compiled single-pass @njit "
+             "kernels (numba; falls back to numpy with a warning when "
+             "Numba is not installed), pick numba when importable "
+             "(auto, default), or disable the kernel layer (off); "
+             "results are bit-identical across backends",
     )
 
 

@@ -140,6 +140,29 @@ class GASProgram:
         return None
 
     # ------------------------------------------------------------------
+    # Fusable kernel shapes (drive the compiled kernel layer)
+    # ------------------------------------------------------------------
+    def gather_kernel_spec(self):
+        """Declare gather as a fusable kernel shape, or None.
+
+        Return a :class:`repro.core.kernels.GatherSpec` when this
+        program's ``gather_map`` + ``gather_reduce`` match one of the
+        kernel layer's fused shapes *exactly* (bit-identical results are
+        a contract, not a goal). The default None keeps the generic
+        vectorized path.
+        """
+        return None
+
+    def apply_kernel_spec(self):
+        """Declare apply as a fusable kernel shape, or None.
+
+        Return a :class:`repro.core.kernels.ApplySpec`; same contract
+        as :meth:`gather_kernel_spec`. Programs with mutable Python
+        state in apply (ledgers, histories) must return None.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Phase presence (drives the Phase Fusion Engine)
     # ------------------------------------------------------------------
     @property

@@ -25,12 +25,14 @@ kernel is proportional to *active* items, not to the worst vertex.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.api import GASProgram
 from repro.core.frontier import FrontierManager
+from repro.core.kernels import layout
 from repro.core.partition import Shard, ShardedGraph
 from repro.core.plans import PlanCache
 from repro.graph.csr import segment_reduce
@@ -63,6 +65,41 @@ class _PendingGather:
     contributions: np.ndarray
 
 
+def _spec_trustworthy(cls: type, method: str, spec_method: str) -> bool:
+    """Whether a kernel spec still describes the method it was written for.
+
+    A subclass that overrides ``apply``/``gather_map`` without also
+    overriding the matching ``*_kernel_spec`` hook would otherwise
+    inherit a spec describing the *parent's* arithmetic -- and the fused
+    kernel would silently skip the override. The spec is only honored
+    when the class defining it sits at or below the class defining the
+    method in the MRO.
+    """
+    mro = cls.__mro__
+
+    def definer(name):
+        for c in mro:
+            if name in c.__dict__:
+                return c
+        return None
+
+    m, s = definer(method), definer(spec_method)
+    return m is not None and s is not None and mro.index(s) <= mro.index(m)
+
+
+@dataclass
+class _FusedGather:
+    """Marker parked when a fused kernel already reduced the gather.
+
+    The fused pass wrote ``gather_temp``/``gather_has`` during
+    gather_map, so gather_reduce has no arithmetic left -- but it must
+    still report the same vertex-centric census the unfused reduction
+    would have (one item per destination segment).
+    """
+
+    n_segments: int
+
+
 class ComputeEngine:
     """Phase execution over the runtime's resident vertex buffers."""
 
@@ -74,6 +111,7 @@ class ComputeEngine:
         frontier: FrontierManager,
         obs=None,
         plans: PlanCache | None = None,
+        kernels=None,
     ):
         self.sharded = sharded
         self.program = program
@@ -98,7 +136,82 @@ class ComputeEngine:
         self.gather_has = np.zeros(n, dtype=bool)
         self.edge_state = program.init_edge_state(ctx)
         self.iteration = 0
-        self._pending: dict[int, _PendingGather] = {}
+        self._pending: dict[int, _PendingGather | _FusedGather] = {}
+        self._setup_kernels(kernels)
+
+    def _setup_kernels(self, kernels) -> None:
+        """Adopt a kernel backend and the program's fusable specs.
+
+        Fusion is opt-in twice over: the runtime must pass a backend
+        (direct engine construction keeps the generic path, so unit
+        tests that pin plan-cache counters see no behavior change), and
+        the program must declare specs in the float32 shapes the
+        kernels implement. Programs without specs -- or with edge state,
+        which the fused gather cannot stamp -- run the generic path and
+        count one ``kernels.fallbacks``.
+        """
+        self.kernels = kernels
+        self._backend_name = None if kernels is None else kernels.name
+        self._gather_spec = None
+        self._apply_spec = None
+        self._deg32 = None
+        self.fused_calls = 0
+        self.fallbacks = 0
+        if kernels is None:
+            return
+        f32 = np.dtype(np.float32)
+        cls = type(self.program)
+        if (
+            np.dtype(self.program.vertex_dtype) == f32
+            and np.dtype(self.program.gather_dtype) == f32
+        ):
+            if _spec_trustworthy(cls, "gather_map", "gather_kernel_spec"):
+                self._gather_spec = self.program.gather_kernel_spec()
+            if _spec_trustworthy(cls, "apply", "apply_kernel_spec"):
+                self._apply_spec = self.program.apply_kernel_spec()
+        if self._gather_spec is None and self._apply_spec is None:
+            self.fallbacks += 1
+            self.obs.add("kernels.fallbacks")
+
+    def _deg_table(self) -> np.ndarray:
+        """float32 out-degree table (clamped to 1) for div_degree gathers."""
+        if self._deg32 is None:
+            self._deg32 = layout.aligned_copy(
+                np.maximum(self.ctx.out_degrees.astype(np.float32), 1.0)
+            )
+        return self._deg32
+
+    def _kernel_fallback(self, phase: str, exc: Exception) -> None:
+        """Disable fusion after a kernel failure; the caller reruns generic."""
+        self.kernels = None
+        self._gather_spec = None
+        self._apply_spec = None
+        self.fallbacks += 1
+        self.obs.add("kernels.fallbacks")
+        warnings.warn(
+            f"kernel backend {self._backend_name!r} failed during {phase} "
+            f"({exc!r}); falling back to the generic NumPy path",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _count_fused(self) -> None:
+        self.fused_calls += 1
+        if self.obs.enabled:
+            self.obs.add("kernels.fused_calls")
+
+    def kernel_stats(self) -> dict | None:
+        """Backend name + fused/fallback counters (None: no backend)."""
+        if self._backend_name is None:
+            return None
+        stats = {
+            "backend": self._backend_name,
+            "fused_calls": self.fused_calls,
+            "fallbacks": self.fallbacks,
+        }
+        if self.kernels is not None:
+            stats.update(self.kernels.arena.stats())
+        return stats
 
     # ------------------------------------------------------------------
     def begin_iteration(self, iteration: int) -> None:
@@ -125,6 +238,16 @@ class ComputeEngine:
     def _gather_map(self, shard: Shard, count_full: bool) -> WorkItems:
         if not self.program.has_gather:
             return WorkItems(edge_items=shard.num_in_edges if count_full else 0)
+        spec = self._gather_spec
+        if (
+            spec is not None
+            and self.edge_state is None
+            and self.plans.enabled
+            and (not spec.needs_weights or shard.csc_weights is not None)
+        ):
+            work = self._fused_gather_map(shard, count_full, spec)
+            if work is not None:
+                return work
         plan = self.plans.gather_plan(shard)
         n_edges = shard.num_in_edges if count_full else plan.n_edges
         if plan.n_edges == 0:
@@ -143,10 +266,53 @@ class ComputeEngine:
         self._pending[shard.index] = _PendingGather(plan.starts, plan.verts, contrib)
         return WorkItems(edge_items=n_edges)
 
+    def _fused_gather_map(self, shard: Shard, count_full: bool, spec) -> WorkItems | None:
+        """Single fused pass: per-edge map + segment reduce + has-mark.
+
+        The sparse-bypass branch reads the shard's CSC sub-arrays
+        directly (no plan at all); the dense/cached branch reuses the
+        plan's index layout but skips the contribution temporaries.
+        Plan-cache counters stay identical to the generic path: the
+        bypass query counts through :meth:`PlanCache.sparse_rows`, and
+        non-bypass queries still go through ``gather_plan``. Returns
+        None on kernel failure (caller reruns the generic path).
+        """
+        deg = self._deg_table() if spec.kind == "div_degree" else None
+        try:
+            rows = self.plans.sparse_rows(shard, "active")
+            if rows is not None:
+                n_edges, n_segments = self.kernels.gather_rows(
+                    shard.index, spec, self.vertex_values, deg,
+                    shard.csc.indptr, shard.csc.indices, shard.csc_weights,
+                    rows, shard.start, self.gather_temp, self.gather_has,
+                )
+            else:
+                plan = self.plans.gather_plan(shard)
+                n_edges = plan.n_edges
+                n_segments = len(plan.verts)
+                if n_edges:
+                    self.kernels.gather_segments(
+                        shard.index, spec, self.vertex_values, deg,
+                        plan.indices, plan.weights, plan.starts, plan.verts,
+                        self.gather_temp, self.gather_has,
+                    )
+        except Exception as exc:  # pragma: no cover - exercised via tests
+            self._kernel_fallback("gather", exc)
+            return None
+        if n_edges:
+            self._pending[shard.index] = _FusedGather(n_segments)
+            self._count_fused()
+        return WorkItems(edge_items=shard.num_in_edges if count_full else n_edges)
+
     def _gather_reduce(self, shard: Shard, count_full: bool) -> WorkItems:
         n_vert = shard.num_interval_vertices if count_full else 0
         pending = self._pending.pop(shard.index, None)
         if pending is None:
+            return WorkItems(vertex_items=n_vert)
+        if isinstance(pending, _FusedGather):
+            # The fused kernel already reduced; report the same census.
+            if not count_full:
+                n_vert = pending.n_segments
             return WorkItems(vertex_items=n_vert)
         reduced = segment_reduce(
             self.program.gather_reduce, pending.contributions, pending.starts
@@ -175,6 +341,14 @@ class ComputeEngine:
         return WorkItems(edge_items=n_edges)
 
     def _frontier_activate(self, shard: Shard, count_full: bool) -> WorkItems:
+        if (
+            self.kernels is not None
+            and not self.program.has_scatter
+            and self.plans.enabled
+        ):
+            work = self._fused_activate(shard, count_full)
+            if work is not None:
+                return work
         plan = self.plans.out_plan(shard, full=self.program.has_scatter)
         n_edges = shard.num_out_edges if count_full else plan.n_edges
         if plan.n_edges:
@@ -187,6 +361,32 @@ class ComputeEngine:
                 self.frontier.activate_next(plan.indices)
         return WorkItems(edge_items=n_edges)
 
+    def _fused_activate(self, shard: Shard, count_full: bool) -> WorkItems | None:
+        """Fused activation for bypass-eligible sparse frontiers.
+
+        Emits the changed rows' out-neighbors straight off the shard's
+        CSR sub-arrays into a scratch buffer and ORs them into the next
+        frontier -- no out plan is built or cached. Dense frontiers
+        (and every scatter program, whose full plan the generic path
+        shares) return None and take the plan route.
+        """
+        rows = self.plans.sparse_rows(shard, "changed")
+        if rows is None:
+            return None
+        try:
+            targets = self.kernels.activate_targets(
+                shard.index, shard.csr.indptr, shard.csr.indices, rows, shard.start
+            )
+        except Exception as exc:  # pragma: no cover - exercised via tests
+            self._kernel_fallback("frontier_activate", exc)
+            return None
+        if len(targets):
+            self.frontier.activate_next(self._capture_targets(targets))
+        self._count_fused()
+        return WorkItems(
+            edge_items=shard.num_out_edges if count_full else len(targets)
+        )
+
     # ------------------------------------------------------------------
     # Vertex-centric phase
     # ------------------------------------------------------------------
@@ -194,6 +394,12 @@ class ComputeEngine:
         rows, dense = self.plans.active_rows(shard)
         n_vert = shard.num_interval_vertices if count_full else len(rows)
         if len(rows) == 0:
+            return WorkItems(vertex_items=n_vert)
+        if (
+            self._apply_spec is not None
+            and self.plans.enabled
+            and self._fused_apply(shard, rows, dense)
+        ):
             return WorkItems(vertex_items=n_vert)
         if dense:
             # Whole interval active: contiguous slice copies of the
@@ -221,6 +427,41 @@ class ComputeEngine:
         self.frontier.mark_changed(rows[changed])
         return WorkItems(vertex_items=n_vert)
 
+    def _fused_apply(self, shard: Shard, rows, dense: bool) -> bool:
+        """Fused apply: update + changed mask in one kernel pass.
+
+        Results land in arena buffers (``out`` is copied by the write
+        hook's consumer before the next reuse; the worker engine's
+        delta capture copies explicitly). The min_improve source seed
+        is positional: the generic ``vids == source`` comparison
+        reduces to at most one index on iteration 0.
+        """
+        spec = self._apply_spec
+        lo, hi = shard.start, shard.stop
+        src_pos = -1
+        if spec.source is not None and self.iteration == 0:
+            if dense:
+                if lo <= spec.source < hi:
+                    src_pos = spec.source - lo
+            else:
+                j = int(np.searchsorted(rows, spec.source))
+                if j < len(rows) and rows[j] == spec.source:
+                    src_pos = j
+        try:
+            out, changed = self.kernels.apply_block(
+                shard.index, spec, self.vertex_values, self.gather_temp,
+                self.gather_has, None if dense else rows, lo, hi,
+                self.iteration, src_pos,
+            )
+        except Exception as exc:  # pragma: no cover - exercised via tests
+            self._kernel_fallback("apply", exc)
+            return False
+        changed_vids = np.flatnonzero(changed) + lo if dense else rows[changed]
+        self._write_vertex_values(shard, rows, dense, out)
+        self.frontier.mark_changed(changed_vids)
+        self._count_fused()
+        return True
+
     # ------------------------------------------------------------------
     # Mutable-state write points. The process-pool worker engine
     # overrides these two hooks to *capture* writes as deltas instead of
@@ -235,3 +476,12 @@ class ComputeEngine:
 
     def _write_edge_state(self, eids, new_states) -> None:
         self.edge_state[eids] = new_states
+
+    def _capture_targets(self, targets: np.ndarray) -> np.ndarray:
+        """Hand fused-activation targets (an arena view) to the frontier.
+
+        The serial frontier consumes them synchronously, so the view is
+        safe; the pool worker engine overrides this with a copy because
+        its captured deltas are pickled *after* the arena is reused.
+        """
+        return targets

@@ -361,6 +361,17 @@ class PlanCache:
         self.obs.add("plans.sparse_bypass")
         return rows
 
+    def sparse_rows(self, shard: Shard, mask: str):
+        """Public bypass query for the fused kernel paths.
+
+        Returns the global row ids when the (mask, shard) frontier is
+        bypass-eligible, else None -- counting ``plans.sparse_bypass``
+        exactly as :meth:`gather_plan`/:meth:`out_plan` would, so a
+        fused caller that consumes the rows directly (no plan built)
+        leaves the cache counters identical to the generic path.
+        """
+        return self._sparse_rows(shard, mask)
+
     def _resolve_rows(self, shard: Shard, mask: str):
         """(rows | None-if-dense, fresh) for the current mask contents.
 

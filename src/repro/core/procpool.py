@@ -220,7 +220,8 @@ class _WorkerEngine(ComputeEngine):
     or write its intervals, mirroring the serial engine's buffer).
     """
 
-    def __init__(self, program, ctx, frontier, plans, vertex_values, edge_state):
+    def __init__(self, program, ctx, frontier, plans, vertex_values, edge_state,
+                 kernels=None):
         self.sharded = None
         self.program = program
         self.ctx = ctx
@@ -235,12 +236,23 @@ class _WorkerEngine(ComputeEngine):
         self.iteration = 0
         self._pending = {}
         self.deltas: list | None = None
+        self._setup_kernels(kernels)
 
     def _write_vertex_values(self, shard, rows, dense, out):
+        if self.kernels is not None:
+            # Fused kernels return views of the backend's scratch arena,
+            # which the *next* task reuses before the result queue's
+            # feeder thread pickles this task's deltas. Snapshot now.
+            out = np.array(out, copy=True)
         if dense:
             self.deltas.append(("vd", shard.start, shard.stop, out))
         else:
             self.deltas.append(("vr", rows, out))
+
+    def _capture_targets(self, targets):
+        # Same arena-reuse race as ``out`` above: the delta list holds
+        # the array until the feeder thread serializes it.
+        return np.array(targets, copy=True)
 
     def _write_edge_state(self, eids, new_states):
         self.deltas.append(("es", eids, np.asarray(new_states)))
@@ -337,6 +349,14 @@ class _WorkerRunner:
             budget=spec["plan_budget"],
             sparse=spec.get("sparse", True),
         )
+        # Each worker resolves its kernel backend locally: Numba
+        # dispatchers are not picklable, and the on-disk JIT cache
+        # (``cache=True``) makes the per-worker warm-up a cache load,
+        # not a recompile. The main process ships the *resolved* name,
+        # so a missing-Numba warning is emitted once, not per worker.
+        from repro.core.kernels import resolve_backend
+
+        kernels = resolve_backend(spec.get("kernel_backend", "off"))
         self.engine = _WorkerEngine(
             spec["program"],
             ctx,
@@ -344,6 +364,7 @@ class _WorkerRunner:
             self.plans,
             state["vertex_values"],
             state.get("edge_state"),
+            kernels=kernels,
         )
         self._sync_id = -1
         self._iteration_seen = False
@@ -391,7 +412,14 @@ def _worker_main(spec, task_q, result_q):  # pragma: no cover - child process
                     ("task_error", msg[4], spec["worker_id"], traceback.format_exc())
                 )
     finally:
-        result_q.put(("bye", spec["worker_id"], runner.plans.stats()))
+        result_q.put(
+            (
+                "bye",
+                spec["worker_id"],
+                runner.plans.stats(),
+                runner.engine.kernel_stats(),
+            )
+        )
         for shm in segments:
             try:
                 shm.close()
@@ -431,6 +459,7 @@ class ProcessPool:
         cache: bool,
         sparse: bool = True,
         plan_budget: int | None = None,
+        kernel_backend: str = "off",
         store=None,
         unit_weights: bool = False,
         task_timeout: float = 300.0,
@@ -462,6 +491,7 @@ class ProcessPool:
         self.wait_seconds = 0.0
         self.lane: list[tuple] = []
         self.worker_plan_stats: list[dict] = []
+        self.worker_kernel_stats: list[dict] = []
         self._segments: list = []
         self._procs: list = []
         self._task_qs: list = []
@@ -472,7 +502,7 @@ class ProcessPool:
         try:
             self._start(
                 mp, sharded, program, ctx, store, unit_weights, dense, cache,
-                sparse, plan_budget,
+                sparse, plan_budget, kernel_backend,
             )
         except WorkerCrashed:
             self.shutdown()
@@ -484,7 +514,7 @@ class ProcessPool:
     # ------------------------------------------------------------------
     def _start(
         self, mp, sharded, program, ctx, store, unit_weights, dense, cache,
-        sparse, plan_budget,
+        sparse, plan_budget, kernel_backend,
     ):
         spawn = mp.get_context("spawn")
         shard_manifest = [
@@ -538,6 +568,7 @@ class ProcessPool:
             "cache": cache,
             "sparse": sparse,
             "plan_budget": plan_budget,
+            "kernel_backend": kernel_backend,
         }
         self._result_q = spawn.Queue()
         for w in range(self.num_workers):
@@ -754,6 +785,8 @@ class ProcessPool:
                 break
             if msg[0] == "bye":
                 self.worker_plan_stats.append(msg[2])
+                if len(msg) > 3 and msg[3]:
+                    self.worker_kernel_stats.append(msg[3])
         for proc in self._procs:
             if proc.is_alive():
                 proc.terminate()
@@ -786,6 +819,15 @@ class ProcessPool:
             }
             total = plans["hits"] + plans["misses"]
             plans["hit_rate"] = plans["hits"] / total if total else 0.0
+        kernels = None
+        if self.worker_kernel_stats:
+            kernels = {"backend": self.worker_kernel_stats[0].get("backend")}
+            for key in (
+                "fused_calls", "fallbacks", "allocations", "reuses", "held_bytes",
+            ):
+                kernels[key] = sum(
+                    s.get(key, 0) for s in self.worker_kernel_stats
+                )
         return {
             "backend": "processes",
             "workers": self.num_workers,
@@ -794,5 +836,6 @@ class ProcessPool:
             "publish_seconds": self.publish_seconds,
             "wait_seconds": self.wait_seconds,
             "plan_cache": plans,
+            "kernels": kernels,
             "lane": list(self.lane),
         }

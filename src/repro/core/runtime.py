@@ -30,6 +30,7 @@ from repro.core.api import GASProgram
 from repro.core.compute import ComputeEngine
 from repro.core.frontier import DirectionController, FrontierManager
 from repro.core.fusion import PhaseGroup, build_async_plan, build_plan
+from repro.core.kernels import resolve_backend
 from repro.core.movement import (
     DataMovementEngine,
     HostPrefetcher,
@@ -98,6 +99,17 @@ class GraphReduceOptions:
     #: of consulting (and missing) the epoch-keyed plan cache -- the fix
     #: for traversal frontiers that never repeat (see repro.core.plans).
     sparse_bypass: bool = True
+    #: Kernel backend for the fused gather/apply/activate inner loops
+    #: (see :mod:`repro.core.kernels`): ``"numpy"`` runs the fused
+    #: shapes with whole-array primitives and arena-reused scratch
+    #: buffers; ``"numba"`` compiles them into single-pass ``@njit``
+    #: kernels (falls back to ``"numpy"`` with a warning when Numba is
+    #: not installed); ``"auto"`` picks numba when importable; ``"off"``
+    #: disables the kernel layer entirely (generic path, test hook).
+    #: Like the other host fast paths this changes wall-clock only:
+    #: results, frontier history and the simulated timeline are
+    #: bit-identical across backends.
+    kernel_backend: str = "auto"
     #: Traversal direction: ``"push"`` executes the natural change-
     #: driven frontier (the paper's model); ``"pull"`` runs every
     #: iteration bottom-up with all vertices active, which the dense
@@ -244,6 +256,9 @@ class GraphReduceResult:
     #: gather-plan cache totals (hits/misses/invalidations/hit_rate) of
     #: the host fast paths; None when both fast paths were disabled
     plan_cache: dict | None = None
+    #: kernel-layer totals (backend, fused_calls, fallbacks, arena
+    #: reuse); None when ``kernel_backend`` was "off"
+    kernels: dict | None = None
     #: host prefetcher totals + wall-clock activity lane (out-of-core
     #: shard-store runs only; None for in-RAM runs)
     prefetch: dict | None = None
@@ -437,12 +452,14 @@ class GraphReduce:
                         num_partitions=sharded.num_partitions, logic=opts.partition_logic
                     )
 
+            kernels = resolve_backend(opts.kernel_backend)
             if telem is not None:
                 telem.start(
                     algorithm=program.name,
                     graph=edges.name,
                     backend=opts.parallel_backend,
                     workers=opts.parallel_shards,
+                    kernel_backend=kernels.name if kernels is not None else "off",
                     num_vertices=edges.num_vertices,
                     num_edges=edges.num_edges,
                     num_shards=sharded.num_partitions,
@@ -515,7 +532,11 @@ class GraphReduce:
                 budget=opts.plan_cache_budget,
                 sparse=opts.sparse_bypass,
             )
-            compute = ComputeEngine(sharded, program, ctx, frontier, obs=obs, plans=plans)
+            if kernels is not None:
+                obs.add(f"kernels.backend.{kernels.name}")
+            compute = ComputeEngine(
+                sharded, program, ctx, frontier, obs=obs, plans=plans, kernels=kernels
+            )
             if telem is not None and plans.enabled:
                 telem.add_source("plan_cache", plans.stats)
             if prefetcher is not None:
@@ -545,6 +566,12 @@ class GraphReduce:
                     cache=opts.plan_cache,
                     sparse=opts.sparse_bypass,
                     plan_budget=opts.plan_cache_budget,
+                    # Ship the *resolved* backend name: workers re-resolve
+                    # locally (dispatchers are not picklable) but must not
+                    # re-warn about a missing Numba per worker.
+                    kernel_backend=(
+                        kernels.name if kernels is not None else "off"
+                    ),
                     store=self.shard_store,
                     unit_weights=(
                         self.shard_store is not None
@@ -728,6 +755,12 @@ class GraphReduce:
             plan_cache_stats = pool_snapshot["plan_cache"]
         else:
             plan_cache_stats = plans.stats() if plans.enabled else None
+        if pool_snapshot is not None and pool_snapshot.get("kernels"):
+            # Same story for the kernel layer: the backends doing the
+            # fused work live in the workers.
+            kernel_stats = pool_snapshot["kernels"]
+        else:
+            kernel_stats = compute.kernel_stats()
         return GraphReduceResult(
             vertex_values=compute.vertex_values,
             iterations=iteration,
@@ -747,6 +780,7 @@ class GraphReduce:
             observer=obs if obs.enabled else None,
             engine_snapshots=engine_snapshots,
             plan_cache=plan_cache_stats,
+            kernels=kernel_stats,
             prefetch=prefetcher.snapshot() if prefetcher is not None else None,
             procpool=pool_snapshot,
             telemetry=telemetry_summary,

@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.kernels import layout as layout_mod
 from repro.core.partition import (
     ShardBytes,
     ShardedGraph,
@@ -284,6 +285,12 @@ class ShardStore:
         ``unit_weights`` synthesizes per-shard ``ones`` when an
         unweighted store runs a weights-needing program -- the same
         values ``EdgeList.with_unit_weights`` would have partitioned.
+
+        Alignment: the memmapped ``.npy`` payloads start at the format's
+        64-byte ``ARRAY_ALIGN`` boundary (a page-aligned mapping keeps
+        it), and the synthesized weights come from the kernel layer's
+        aligned allocator, so every sub-array the fused kernels stream
+        is cache-line aligned.
         """
         def load(layout: str, part: str):
             return np.load(self.path / _shard_file(index, layout, part), mmap_mode="r")
@@ -295,8 +302,8 @@ class ShardStore:
             csc_w = load("csc", "weights")
             csr_w = load("csr", "weights")
         elif unit_weights:
-            csc_w = np.ones(csc.num_edges, dtype=WEIGHT_DTYPE)
-            csr_w = np.ones(csr.num_edges, dtype=WEIGHT_DTYPE)
+            csc_w = layout_mod.aligned_ones(csc.num_edges, WEIGHT_DTYPE)
+            csr_w = layout_mod.aligned_ones(csr.num_edges, WEIGHT_DTYPE)
         nbytes = sum(
             a.nbytes
             for a in (

@@ -242,6 +242,9 @@ class ProfileReport:
     prefetch: dict = field(default_factory=dict)
     #: process-pool backend counters (repro.core.procpool)
     procpool: dict = field(default_factory=dict)
+    #: fused-kernel layer totals (repro.core.kernels): backend name,
+    #: fused calls, fallbacks, scratch-arena reuse
+    kernels: dict = field(default_factory=dict)
     #: histogram summaries (count/mean/p50/p90/p99 + log2 buckets) of
     #: every observed distribution -- frontier sizes, prefetch waits
     histograms: dict = field(default_factory=dict)
@@ -268,6 +271,7 @@ class ProfileReport:
             "plan_cache": self.plan_cache,
             "prefetch": self.prefetch,
             "procpool": self.procpool,
+            "kernels": self.kernels,
             "verdict": self.verdict.to_dict(),
             "model_validation": [c.to_dict() for c in self.validation],
         }
@@ -299,6 +303,7 @@ class ProfileReport:
             f"phases skipped ({100 * self.frontier.skip_rate:.1f}%), "
             f"~{self.frontier.est_bytes_saved / 2**20:.2f} MiB of PCIe avoided",
             self._plan_cache_line(),
+            self._kernels_line(),
             self._prefetch_line(),
             self._procpool_line(),
             "",
@@ -352,6 +357,19 @@ class ProfileReport:
             f"{pc.get('invalidations', 0)} invalidations, "
             f"{pc.get('evictions', 0)} evictions, "
             f"{bypass} sparse bypasses (host fast paths)"
+        )
+
+    def _kernels_line(self) -> str:
+        k = self.kernels
+        if not k.get("backend"):
+            return "kernels            : n/a (kernel backend off)"
+        return (
+            f"kernels            : {k.get('backend')} backend, "
+            f"{k.get('fused_calls', 0)} fused calls, "
+            f"{k.get('fallbacks', 0)} fallbacks, "
+            f"arena {k.get('reuses', 0)} reuses / "
+            f"{k.get('allocations', 0)} allocations "
+            f"({k.get('held_bytes', 0) / 2**20:.2f} MiB held)"
         )
 
     def _prefetch_line(self) -> str:
@@ -581,6 +599,15 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
     else:
         procpool = {}
 
+    # -- fused kernel layer (repro.core.kernels) -----------------------
+    kernels = getattr(result, "kernels", None)
+    if kernels is None:
+        fused = metrics.value("kernels.fused_calls")
+        fallbacks = metrics.value("kernels.fallbacks")
+        kernels = {}
+        if fused or fallbacks:
+            kernels = {"fused_calls": int(fused), "fallbacks": int(fallbacks)}
+
     run_attrs: dict = {}
     for sp in obs.find(category="run"):
         run_attrs = sp.attrs
@@ -608,6 +635,7 @@ def build_profile(result, machine=None, tolerance: float = MODEL_TOLERANCE) -> P
         plan_cache=plan_cache,
         prefetch=prefetch,
         procpool=procpool,
+        kernels=kernels,
     )
 
 

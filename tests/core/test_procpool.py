@@ -21,6 +21,7 @@ import pytest
 from tests.core.test_fastpath import PROGRAMS, _kernel_items
 from tests.fixture_graphs import build
 from repro.algorithms import PageRank
+from repro.core.kernels import numba_available
 from repro.core.partition import PartitionEngine
 from repro.core.procpool import ENV_WORKER_FLAG, SHM_PREFIX
 from repro.core.runtime import GraphReduce, GraphReduceOptions
@@ -92,6 +93,48 @@ def test_process_backend_matches_serial_store_backed(tmp_path):
             shard_store=store, options=GraphReduceOptions(**POOL)
         ).run(make())
         _assert_identical(f"store/{algo}", pool, serial)
+
+
+@pytest.mark.parametrize(
+    "kernel_backend",
+    (
+        "numpy",
+        pytest.param(
+            "numba",
+            marks=pytest.mark.skipif(
+                not numba_available(), reason="Numba not installed"
+            ),
+        ),
+    ),
+)
+def test_process_backend_kernel_axis(kernel_backend):
+    """Workers resolve the fused backend locally and stay bit-identical.
+
+    The pool pickles captured deltas *after* the next task may have
+    reused the kernel arena, so this doubles as the regression test for
+    the delta-capture copy; the aggregated pool kernel stats must also
+    show the workers actually ran the fused path.
+    """
+    g = build("er_mid")
+    weighted = g.with_random_weights(seed=33)
+    for algo in ("bfs", "pagerank", "stamping_sssp"):
+        graph = weighted if "sssp" in algo else g
+        make = PROGRAMS[algo]
+        serial = GraphReduce(
+            graph,
+            options=GraphReduceOptions(num_partitions=3, kernel_backend="off"),
+        ).run(make())
+        pool = GraphReduce(
+            graph,
+            options=GraphReduceOptions(
+                num_partitions=3, kernel_backend=kernel_backend, **POOL
+            ),
+        ).run(make())
+        _assert_identical(f"{algo}/{kernel_backend}", pool, serial)
+        assert pool.kernels is not None, algo
+        assert pool.kernels["backend"] == kernel_backend, algo
+        assert pool.kernels["fused_calls"] > 0, algo
+        assert pool.kernels["fallbacks"] == 0, algo
 
 
 # ----------------------------------------------------------------------

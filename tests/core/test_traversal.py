@@ -28,6 +28,7 @@ from tests.fixture_graphs import FIXTURE_NAMES, build
 from tests.references import bfs_levels, sssp_distances
 from repro.algorithms import BFS, BFSGather, ConnectedComponents, DeltaSSSP, SSSP
 from repro.core.frontier import DirectionController
+from repro.core.kernels import numba_available
 from repro.core.partition import PartitionEngine
 from repro.core.runtime import GraphReduce, GraphReduceOptions
 from repro.core.shardstore import ShardStore
@@ -98,6 +99,45 @@ def test_direction_matrix_in_ram(graph_name):
             _check_bfs(g, r.vertex_values)
             s = GraphReduce(weighted, options=opts).run(SSSP(source=0))
             _check_sssp(weighted, s.vertex_values)
+
+
+KERNEL_BACKENDS = (
+    "off",
+    "numpy",
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(not numba_available(), reason="Numba not installed"),
+    ),
+)
+
+
+@pytest.mark.parametrize("kernel_backend", KERNEL_BACKENDS)
+@pytest.mark.parametrize("graph_name", CORE_GRAPHS)
+def test_direction_matrix_kernel_backends(graph_name, kernel_backend):
+    """Every direction stays bit-identical across fused-kernel backends.
+
+    The direction controller feeds on frontier occupancy, so a fused
+    activate that mis-counted would flip push/pull decisions; comparing
+    full results (values + trajectory + timeline) against the
+    kernels-off run on the same direction pins that down.
+    """
+    g = build(graph_name)
+    weighted = g.with_random_weights(seed=33)
+    for direction in DIRECTIONS:
+        for graph, make in ((g, lambda: BFSGather(source=0)),
+                            (weighted, lambda: SSSP(source=0))):
+            ref = GraphReduce(
+                graph, options=_options(direction, "serial", kernel_backend="off")
+            ).run(make())
+            fused = GraphReduce(
+                graph,
+                options=_options(direction, "serial", kernel_backend=kernel_backend),
+            ).run(make())
+            label = f"{direction}/{kernel_backend}"
+            assert np.array_equal(fused.vertex_values, ref.vertex_values), label
+            assert fused.frontier_history == ref.frontier_history, label
+            assert fused.sim_time == ref.sim_time, label
+            assert fused.direction_decisions == ref.direction_decisions, label
 
 
 @pytest.mark.parametrize("graph_name", CORE_GRAPHS)
