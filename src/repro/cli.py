@@ -71,17 +71,72 @@ from repro.graph.io import load_edgelist_txt, load_matrix_market, load_npz
 from repro.graph.properties import footprint_bytes
 from repro.sim.specs import DeviceSpec, HostSpec, SCALE
 
+def _parse_id_list(text: str) -> list[int]:
+    """Vertex ids from a comma/whitespace-separated spec."""
+    ids = []
+    for token in text.replace(",", " ").split():
+        try:
+            ids.append(int(token))
+        except ValueError:
+            raise SystemExit(
+                f"error: invalid vertex id {token!r} in source list"
+            ) from None
+    return ids
+
+
+def _source_ids(args, default=(0,)) -> list[int]:
+    """Every source id the flags name: ``--sources-file`` lines first,
+    then the ``--source``/``--sources`` comma list; ``default`` when
+    neither is given."""
+    ids: list[int] = []
+    file_spec = getattr(args, "sources_file", None)
+    if file_spec:
+        path = Path(file_spec)
+        if not path.exists():
+            raise SystemExit(f"error: sources file {file_spec!r} does not exist")
+        ids.extend(_parse_id_list(path.read_text()))
+    raw = getattr(args, "sources", None)
+    if raw is None:
+        raw = getattr(args, "source", None)
+    if raw is not None:
+        ids.extend(_parse_id_list(str(raw)))
+    if not ids and default is not None:
+        ids = list(default)
+    return ids
+
+
+def _single_source(args) -> int:
+    ids = _source_ids(args)
+    if len(ids) != 1:
+        raise SystemExit(
+            "error: this command takes exactly one --source; "
+            "run multi-source traversals with `repro batch --sources` "
+            "(or `repro run` with a comma list for bfs/sssp)"
+        )
+    return ids[0]
+
+
+def _check_sources(ids, num_vertices: int) -> None:
+    """Fail fast on out-of-range ids -- before any numpy indexing."""
+    bad = [i for i in ids if i < 0 or i >= num_vertices]
+    if bad:
+        raise SystemExit(
+            f"error: source {bad[0]} out of range for a graph with "
+            f"{num_vertices} vertices (valid ids: 0..{num_vertices - 1})"
+        )
+
+
 ALGORITHMS = {
     # A non-push direction needs a pull-compatible program; the gather
     # formulation computes the same float32 levels as the fused form.
     "bfs": lambda args: (
-        BFSGather(source=args.source)
+        BFSGather(source=_single_source(args))
         if getattr(args, "direction", "push") != "push"
-        else BFS(source=args.source)
+        else BFS(source=_single_source(args))
     ),
-    "bfs-gather": lambda args: BFSGather(source=args.source),
-    "sssp": lambda args: SSSP(source=args.source),
-    "sssp-delta": lambda args: DeltaSSSP(source=args.source, delta=args.delta),
+    "bfs-gather": lambda args: BFSGather(source=_single_source(args)),
+    "sssp": lambda args: SSSP(source=_single_source(args)),
+    "sssp-delta": lambda args: DeltaSSSP(source=_single_source(args), delta=args.delta),
     "pagerank": lambda args: PageRank(tolerance=args.tolerance),
     # Fixed-iteration power formulation: every vertex active/changed
     # each round (the classic PageRank benchmark shape, and the steady
@@ -218,15 +273,17 @@ def _print_prefetch(result) -> None:
     if not pf:
         return
     acquired = pf["hits"] + pf["waits"] + pf["faults"]
-    print(f"prefetch   : {pf['hits']}/{acquired} warm, {pf['waits']} waits "
-          f"({pf['wait_seconds']:.3f} s), {pf['faults']} faults, "
-          f"{pf['evictions']} evictions, "
-          f"{pf['bytes_loaded'] / 2**20:.2f} MiB faulted in "
-          f"(cache capacity {pf['capacity']})")
+    line = (f"prefetch   : {pf['hits']}/{acquired} warm, {pf['waits']} waits "
+            f"({pf['wait_seconds']:.3f} s), {pf['faults']} faults, "
+            f"{pf['evictions']} evictions, "
+            f"{pf['bytes_loaded'] / 2**20:.2f} MiB faulted in "
+            f"(cache capacity {pf['capacity']})")
+    if pf.get("runs", 1) > 1:
+        line += f", kept warm across {pf['runs']} runs"
+    print(line)
 
 
 def cmd_run(args) -> int:
-    program = ALGORITHMS[args.algorithm](args)
     opts = (
         GraphReduceOptions.unoptimized()
         if args.unoptimized
@@ -243,6 +300,17 @@ def cmd_run(args) -> int:
     if telemetry_cfg is not None:
         opts = replace(opts, telemetry=telemetry_cfg)
     engine, graph = _make_engine(args, opts)
+    sources = _source_ids(args)
+    if args.algorithm in ("bfs", "bfs-gather", "sssp", "sssp-delta"):
+        _check_sources(sources, graph.num_vertices)
+    if len(sources) > 1:
+        if args.algorithm not in ("bfs", "sssp"):
+            raise SystemExit(
+                "error: a multi-source --source list batches bfs/sssp only; "
+                "use `repro batch` for other families"
+            )
+        return _print_batch(args, engine, graph, args.algorithm, sources)
+    program = ALGORITHMS[args.algorithm](args)
     result = engine.run(program, max_iterations=args.max_iterations)
     vals = result.vertex_values
     print(f"graph      : {graph}")
@@ -259,9 +327,12 @@ def cmd_run(args) -> int:
     if result.plan_cache is not None:
         pc = result.plan_cache
         queries = pc["hits"] + pc["misses"]
-        print(f"plan cache : {pc['hits']}/{queries} hits "
-              f"({100 * pc['hit_rate']:.1f}%), {pc['invalidations']} invalidations, "
-              f"{pc.get('sparse_bypass', 0)} sparse bypasses")
+        line = (f"plan cache : {pc['hits']}/{queries} hits "
+                f"({100 * pc['hit_rate']:.1f}%), {pc['invalidations']} invalidations, "
+                f"{pc.get('sparse_bypass', 0)} sparse bypasses")
+        if pc.get("carried_plans"):
+            line += f", {pc['carried_plans']} plans carried warm"
+        print(line)
     if result.kernels is not None:
         k = result.kernels
         print(f"kernels    : {k['backend']} backend, "
@@ -359,6 +430,98 @@ def cmd_profile(args) -> int:
         print("error: cost-model validation failed (see table above)", file=sys.stderr)
         return 1
     return 0
+
+
+def _print_batch(args, engine, graph, family, sources=None) -> int:
+    """Execute and summarize one batched query set (`repro batch`, and
+    `repro run` handed a multi-source traversal)."""
+    from repro.core.batch import BatchRunner
+
+    runner = BatchRunner(
+        engine,
+        batch_size=getattr(args, "batch_size", 64),
+        layout=getattr(args, "layout", "auto"),
+    )
+    t0 = time.perf_counter()
+    if family == "bfs":
+        report = runner.run_bfs(sources, max_iterations=args.max_iterations)
+    elif family == "sssp":
+        report = runner.run_sssp(sources, max_iterations=args.max_iterations)
+    elif family == "cc":
+        report = runner.run_cc(
+            count=getattr(args, "count", 1), max_iterations=args.max_iterations
+        )
+    else:  # pagerank
+        dampings = [
+            float(tok)
+            for tok in str(getattr(args, "damping", "0.85")).replace(",", " ").split()
+        ]
+        report = runner.run_pagerank(
+            dampings,
+            iterations=getattr(args, "power_iterations", 25),
+            max_iterations=args.max_iterations,
+        )
+    wall = time.perf_counter() - t0
+    st = report.stats
+    last = report.runs[-1]
+    print(f"graph      : {graph}")
+    print(f"batch      : {st['queries']} {family} queries in {st['chunks']} "
+          f"chunk(s), {st['batch_iterations']} batched iterations "
+          f"({st['retired_early']} retired early)")
+    iters = sorted(q.iterations for q in report.queries)
+    print(f"per-query  : iterations min {iters[0]} / "
+          f"p50 {iters[len(iters) // 2]} / max {iters[-1]}")
+    print(f"wall clock : {wall:.3f} s total, {wall / st['queries'] * 1e3:.1f} ms "
+          f"per query amortized")
+    if last.batch:
+        b = last.batch
+        line = (f"last chunk : layout {b.get('layout', '?')}, "
+                f"{b.get('queries', 0)} queries, "
+                f"{b.get('retired', 0)} retired")
+        if "words" in b:
+            line += f", {b['words']} uint64 words"
+        print(line)
+    if last.plan_cache is not None:
+        pc = last.plan_cache
+        queries = pc["hits"] + pc["misses"]
+        print(f"plan cache : {pc['hits']}/{queries} hits "
+              f"({100 * pc['hit_rate']:.1f}%), "
+              f"{pc.get('carried_plans', 0)} plans carried warm")
+    _print_prefetch(last)
+    finite_counts = [int(np.isfinite(q.values).sum()) for q in report.queries]
+    print(f"values     : finite per query min {min(finite_counts)} / "
+          f"max {max(finite_counts)} of {graph.num_vertices}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    opts = GraphReduceOptions(
+        num_partitions=args.partitions,
+        cache_policy=args.cache_policy,
+        memory_budget=args.memory_budget,
+        keep_warm=args.keep_warm,
+        **_fastpath_options(args),
+    )
+    telemetry_cfg = _telemetry_config(args)
+    if telemetry_cfg is not None:
+        opts = replace(opts, telemetry=telemetry_cfg)
+    engine, graph = _make_engine(args, opts)
+    sources = None
+    if args.algorithm in ("bfs", "sssp"):
+        sources = _source_ids(args, default=None)
+        if not sources:
+            raise SystemExit(
+                "error: bfs/sssp batches need --sources and/or --sources-file"
+            )
+        _check_sources(sources, graph.num_vertices)
+    try:
+        return _print_batch(args, engine, graph, args.algorithm, sources)
+    except ValueError as exc:
+        # Batch-layer validation (layout/family conflicts, bad params)
+        # surfaces as a clean CLI error, not a traceback.
+        raise SystemExit(f"error: {exc}") from None
+    finally:
+        engine.close()
 
 
 def cmd_partition(args) -> int:
@@ -788,7 +951,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="dataset name or graph file",
         )
         p.add_argument("--algorithm", required=True, choices=sorted(ALGORITHMS))
-        p.add_argument("--source", type=int, default=0, help="BFS/SSSP source vertex")
+        p.add_argument(
+            "--source", default=None,
+            help="BFS/SSSP source vertex (default 0); `repro run` also "
+                 "accepts a comma-separated list, which executes the "
+                 "sources as one batched traversal (see `repro batch`)",
+        )
         p.add_argument("--tolerance", type=float, default=1e-3, help="PageRank tolerance")
         p.add_argument("--k", type=int, default=3, help="k for k-core")
         p.add_argument("--power-iterations", type=int, default=25,
@@ -809,8 +977,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution-mode", choices=("bsp", "async"), default="bsp",
         help="bulk-synchronous phases (paper) or asynchronous sweeps",
     )
+    run_p.add_argument(
+        "--sources-file", default=None,
+        help="file of whitespace/comma-separated source ids appended to "
+             "--source (bfs/sssp; multiple ids run as one batch)",
+    )
     _add_store_args(run_p)
     _add_telemetry_args(run_p)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="run many queries of one family as a single batched shard "
+             "stream (scan sharing; bit-parallel multi-source BFS)",
+    )
+    batch_p.add_argument("--graph", default=None, help="dataset name or graph file")
+    batch_p.add_argument(
+        "--algorithm", required=True, choices=("bfs", "sssp", "cc", "pagerank"),
+        help="query family; every query in a batch shares one family",
+    )
+    batch_p.add_argument(
+        "--sources", default=None,
+        help="comma-separated source vertices, one query each (bfs/sssp), "
+             "e.g. --sources 0,17,42",
+    )
+    batch_p.add_argument(
+        "--sources-file", default=None,
+        help="file of whitespace/comma-separated source ids appended to "
+             "--sources",
+    )
+    batch_p.add_argument(
+        "--batch-size", type=int, default=64,
+        help="queries fused per shard stream; more queries split into "
+             "consecutive chunks (default 64)",
+    )
+    batch_p.add_argument(
+        "--layout", choices=("auto", "columns", "bits"), default="auto",
+        help="state layout: float32 column matrix (columns), packed "
+             "uint64 reachability words -- 64 BFS sources per word "
+             "(bits, bfs only), or bits-for-bfs/columns-otherwise (auto)",
+    )
+    batch_p.add_argument("--count", type=int, default=1,
+                         help="number of cc queries (they are identical; "
+                              "exercises the batch path)")
+    batch_p.add_argument(
+        "--damping", default="0.85",
+        help="comma-separated pagerank damping factors, one query each",
+    )
+    batch_p.add_argument("--power-iterations", type=int, default=25,
+                         help="pagerank power-iteration rounds per query")
+    batch_p.add_argument(
+        "--keep-warm", action="store_true",
+        help="carry the prefetcher LRU and dense plans across chunks "
+             "(GraphReduceOptions.keep_warm)",
+    )
+    batch_p.add_argument("--partitions", type=int, default=None)
+    batch_p.add_argument(
+        "--cache-policy", choices=("auto", "never", "greedy", "lru"), default="auto"
+    )
+    batch_p.add_argument("--max-iterations", type=int, default=100_000)
+    _add_fastpath_args(batch_p)
+    _add_store_args(batch_p)
+    _add_telemetry_args(batch_p)
 
     mon_p = sub.add_parser(
         "monitor", help="live terminal view of a run's telemetry stream"
@@ -883,7 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trace the Figure-15 baseline configuration")
     _add_fastpath_args(trace_p)
     trace_p.add_argument("--partitions", type=int, default=None)
-    trace_p.add_argument("--source", type=int, default=0)
+    trace_p.add_argument("--source", default=None)
     trace_p.add_argument("--tolerance", type=float, default=1e-3)
     trace_p.add_argument("--k", type=int, default=3)
     trace_p.add_argument("--power-iterations", type=int, default=25)
@@ -910,7 +1137,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument(
         "--cache-policy", choices=("auto", "never", "greedy", "lru"), default="auto"
     )
-    prof_p.add_argument("--source", type=int, default=0)
+    prof_p.add_argument("--source", default=None)
     prof_p.add_argument("--tolerance", type=float, default=1e-3)
     prof_p.add_argument("--k", type=int, default=3)
     prof_p.add_argument("--power-iterations", type=int, default=25)
@@ -993,6 +1220,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": cmd_datasets,
         "info": cmd_info,
         "run": cmd_run,
+        "batch": cmd_batch,
         "partition": cmd_partition,
         "compare": cmd_compare,
         "trace": cmd_trace,

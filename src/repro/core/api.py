@@ -49,6 +49,14 @@ class GASProgram:
     gather_reduce: np.ufunc = np.add
     gather_identity: float = 0.0
     needs_weights: bool = False
+    #: None: classic scalar state, one value per vertex. An integer C
+    #: widens every vertex buffer to an ``(n, C)`` matrix -- one column
+    #: per in-flight query -- and the engine gathers/applies all columns
+    #: in a single shard pass (the batch executor's scan sharing). The
+    #: frontier stays a single shared bitmask: the *union* of the
+    #: per-column frontiers, which is results-preserving exactly for
+    #: pull-compatible (improvement-driven) programs.
+    state_cols: int | None = None
     #: dense programs whose activation cannot be change-driven (e.g.
     #: level-scheduled sweeps): every vertex stays in the frontier each
     #: iteration and termination comes solely from :meth:`converged`.
@@ -126,6 +134,23 @@ class GASProgram:
     def converged(self, ctx: "RuntimeContext", iteration: int, frontier_size: int) -> bool:
         """Extra termination condition; the empty frontier always stops."""
         return False
+
+    def end_iteration(
+        self,
+        ctx: "RuntimeContext",
+        values: np.ndarray,
+        changed: np.ndarray,
+        iteration: int,
+    ) -> None:
+        """Main-process hook after one full iteration, before advance.
+
+        Called with the (already delta-replayed) vertex values and the
+        iteration's changed bitmask under every backend, so programs
+        that track cross-iteration state -- the batch executor's
+        per-query retirement ledger and depth capture -- stay
+        process-safe: workers never see or mutate the tracking state.
+        """
+        return None
 
     def reseed_frontier(
         self, ctx: "RuntimeContext", values: np.ndarray

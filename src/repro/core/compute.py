@@ -126,13 +126,22 @@ class ComputeEngine:
             sharded, frontier, obs=self.obs, dense=False, cache=False
         )
         n = sharded.num_vertices
+        cols = getattr(program, "state_cols", None)
+        state_shape = (n,) if cols is None else (n, int(cols))
         self.vertex_values = np.asarray(program.init_vertices(ctx))
-        if self.vertex_values.shape != (n,):
+        if self.vertex_values.shape != state_shape:
             raise ValueError(
-                f"init_vertices must return shape ({n},), got {self.vertex_values.shape}"
+                f"init_vertices must return shape {state_shape}, "
+                f"got {self.vertex_values.shape}"
             )
         self.vertex_values = self.vertex_values.astype(program.vertex_dtype, copy=False)
-        self.gather_temp = np.full(n, program.gather_identity, dtype=program.gather_dtype)
+        # Batched programs widen the gather result to one column per
+        # query; gather_has stays a single vertex-level mask (a vertex
+        # either received contributions this iteration or did not --
+        # identical across columns because topology is shared).
+        self.gather_temp = np.full(
+            state_shape, program.gather_identity, dtype=program.gather_dtype
+        )
         self.gather_has = np.zeros(n, dtype=bool)
         self.edge_state = program.init_edge_state(ctx)
         self.iteration = 0
@@ -160,11 +169,21 @@ class ComputeEngine:
         if kernels is None:
             return
         f32 = np.dtype(np.float32)
+        u64 = np.dtype(np.uint64)
+        vdt = np.dtype(self.program.vertex_dtype)
+        gdt = np.dtype(self.program.gather_dtype)
+        cols = getattr(self.program, "state_cols", None)
+        if cols is None:
+            dtypes_ok = vdt == f32 and gdt == f32
+        else:
+            # Matrix-state (batched) programs fuse only when the backend
+            # implements the columnar variants; float32 query columns
+            # and uint64 bitmask words are the two supported layouts.
+            dtypes_ok = getattr(kernels, "supports_matrix", False) and (
+                (vdt == f32 and gdt == f32) or (vdt == u64 and gdt == u64)
+            )
         cls = type(self.program)
-        if (
-            np.dtype(self.program.vertex_dtype) == f32
-            and np.dtype(self.program.gather_dtype) == f32
-        ):
+        if dtypes_ok:
             if _spec_trustworthy(cls, "gather_map", "gather_kernel_spec"):
                 self._gather_spec = self.program.gather_kernel_spec()
             if _spec_trustworthy(cls, "apply", "apply_kernel_spec"):
@@ -259,7 +278,7 @@ class ComputeEngine:
             self.ctx,
             plan.indices,
             plan.row_ids,
-            np.take(self.vertex_values, plan.indices),
+            np.take(self.vertex_values, plan.indices, axis=0),
             plan.weights,
             states,
         )
@@ -334,7 +353,11 @@ class ComputeEngine:
             return WorkItems(edge_items=n_edges)
         states = None if self.edge_state is None else np.take(self.edge_state, plan.eids)
         new_states = self.program.scatter(
-            self.ctx, plan.row_ids, np.take(self.vertex_values, plan.row_ids), plan.weights, states
+            self.ctx,
+            plan.row_ids,
+            np.take(self.vertex_values, plan.row_ids, axis=0),
+            plan.weights,
+            states,
         )
         if self.edge_state is not None:
             self._write_edge_state(plan.eids, new_states)

@@ -49,6 +49,27 @@ class ScratchArena:
             self.reuses += 1
         return buf[:n]
 
+    def get2d(self, key, n: int, cols: int, dtype) -> np.ndarray:
+        """An ``(n, cols)`` aligned buffer, row-count grow-only.
+
+        Used by the batch executor's columnar/bit-packed kernels: the
+        column count is fixed for a run (one per query or one uint64
+        word per 64 queries), so only the row dimension is ragged.
+        """
+        dtype = np.dtype(dtype)
+        slot = (key, dtype, int(cols))
+        buf = self._buffers.get(slot)
+        if buf is None or buf.shape[0] < n:
+            capacity = max(int(n * GROWTH_SLACK), n, 1)
+            buf = layout.aligned_empty(capacity * cols, dtype).reshape(
+                capacity, cols
+            )
+            self._buffers[slot] = buf
+            self.allocations += 1
+        else:
+            self.reuses += 1
+        return buf[:n]
+
     @property
     def held_bytes(self) -> int:
         return sum(buf.nbytes for buf in self._buffers.values())

@@ -107,6 +107,123 @@ def _gather_rows(
 
 
 @njit(cache=True, inline="always")
+def _edge_value_mat(values, nbr, weights, deg, j, c, kind):
+    """One column's per-edge value for a 2-D (batched) state matrix."""
+    idx = nbr[j]
+    if kind == 1:  # div_degree
+        return values[idx, c] / deg[idx]
+    if kind == 2:  # mul_weight
+        return values[idx, c] * weights[j]
+    if kind == 3:  # add_weight
+        return values[idx, c] + weights[j]
+    if kind == 4:  # add_one
+        return values[idx, c] + np.float32(1.0)
+    return values[idx, c]  # copy
+
+
+@njit(cache=True, parallel=True)
+def _gather_segments_mat(
+    values, indices, weights, deg, starts, verts, n_edges, kind, red,
+    gather_temp, gather_has,
+):
+    """Columnar fused gather: every query column in one edge pass."""
+    n_seg = starts.shape[0]
+    n_col = values.shape[1]
+    for s in prange(n_seg):
+        lo = starts[s]
+        hi = starts[s + 1] if s + 1 < n_seg else n_edges
+        v0 = verts[s]
+        for c in range(n_col):
+            acc = _edge_value_mat(values, indices, weights, deg, lo, c, kind)
+            if red == 0:
+                for j in range(lo + 1, hi):
+                    acc = acc + _edge_value_mat(values, indices, weights, deg, j, c, kind)
+            else:
+                for j in range(lo + 1, hi):
+                    v = _edge_value_mat(values, indices, weights, deg, j, c, kind)
+                    if v < acc:
+                        acc = v
+            gather_temp[v0, c] = acc
+        gather_has[v0] = True
+
+
+@njit(cache=True)
+def _gather_rows_mat(
+    values, indptr, nbr, weights, deg, rows, base, kind, red,
+    gather_temp, gather_has,
+):
+    n_edges = 0
+    n_seg = 0
+    n_col = values.shape[1]
+    for i in range(rows.shape[0]):
+        r = rows[i]
+        lo = indptr[r - base]
+        hi = indptr[r - base + 1]
+        if lo == hi:
+            continue
+        for c in range(n_col):
+            acc = _edge_value_mat(values, nbr, weights, deg, lo, c, kind)
+            if red == 0:
+                for j in range(lo + 1, hi):
+                    acc = acc + _edge_value_mat(values, nbr, weights, deg, j, c, kind)
+            else:
+                for j in range(lo + 1, hi):
+                    v = _edge_value_mat(values, nbr, weights, deg, j, c, kind)
+                    if v < acc:
+                        acc = v
+            gather_temp[r, c] = acc
+        gather_has[r] = True
+        n_edges += hi - lo
+        n_seg += 1
+    return n_edges, n_seg
+
+
+@njit(cache=True, parallel=True)
+def _gather_segments_bits(
+    values, indices, starts, verts, n_edges, gather_temp, gather_has
+):
+    """Bit-parallel MS-BFS gather: OR uint64 reach words per segment.
+
+    Separate from the float kernels because ``|`` does not type for
+    float32 -- Numba types every branch of a compiled body.
+    """
+    n_seg = starts.shape[0]
+    n_word = values.shape[1]
+    for s in prange(n_seg):
+        lo = starts[s]
+        hi = starts[s + 1] if s + 1 < n_seg else n_edges
+        v0 = verts[s]
+        for c in range(n_word):
+            acc = values[indices[lo], c]
+            for j in range(lo + 1, hi):
+                acc = acc | values[indices[j], c]
+            gather_temp[v0, c] = acc
+        gather_has[v0] = True
+
+
+@njit(cache=True)
+def _gather_rows_bits(values, indptr, nbr, rows, base, gather_temp, gather_has):
+    n_edges = 0
+    n_seg = 0
+    n_word = values.shape[1]
+    for i in range(rows.shape[0]):
+        r = rows[i]
+        lo = indptr[r - base]
+        hi = indptr[r - base + 1]
+        if lo == hi:
+            continue
+        for c in range(n_word):
+            acc = values[nbr[lo], c]
+            for j in range(lo + 1, hi):
+                acc = acc | values[nbr[j], c]
+            gather_temp[r, c] = acc
+        gather_has[r] = True
+        n_edges += hi - lo
+        n_seg += 1
+    return n_edges, n_seg
+
+
+@njit(cache=True, inline="always")
 def _apply_one(old, g, has, kind, base, scale, fill, tol, changed_mode, level):
     """One vertex's fused apply; returns (new value, changed)."""
     if kind == 0:  # affine
@@ -180,6 +297,10 @@ def _activate_targets(indptr, nbr, rows, base, out):
 DISPATCHERS = (
     _gather_segments,
     _gather_rows,
+    _gather_segments_mat,
+    _gather_rows_mat,
+    _gather_segments_bits,
+    _gather_rows_bits,
     _apply_dense,
     _apply_rows,
     _activate_targets,
@@ -192,6 +313,8 @@ class NumbaKernels:
     """Fused-shape kernels executed as compiled single-pass loops."""
 
     name = "numba"
+    #: 2-D state matrices dispatch to the columnar/bit-packed kernels
+    supports_matrix = True
 
     def __init__(self):
         self.arena = ScratchArena()
@@ -205,6 +328,19 @@ class NumbaKernels:
         self, key, spec: GatherSpec, values, deg, indices, weights, starts, verts,
         gather_temp, gather_has,
     ) -> None:
+        if values.ndim == 2:
+            if spec.reduce == "or":
+                _gather_segments_bits(
+                    values, indices, starts, verts, len(indices),
+                    gather_temp, gather_has,
+                )
+                return
+            w, d, kind, red = self._gather_args(spec, weights, deg)
+            _gather_segments_mat(
+                values, indices, w, d, starts, verts, len(indices), kind, red,
+                gather_temp, gather_has,
+            )
+            return
         w, d, kind, red = self._gather_args(spec, weights, deg)
         _gather_segments(
             values, indices, w, d, starts, verts, len(indices), kind, red,
@@ -215,6 +351,16 @@ class NumbaKernels:
         self, key, spec: GatherSpec, values, deg, indptr, nbr, weights, rows, base,
         gather_temp, gather_has,
     ):
+        if values.ndim == 2:
+            if spec.reduce == "or":
+                return _gather_rows_bits(
+                    values, indptr, nbr, rows, base, gather_temp, gather_has
+                )
+            w, d, kind, red = self._gather_args(spec, weights, deg)
+            return _gather_rows_mat(
+                values, indptr, nbr, w, d, rows, base, kind, red,
+                gather_temp, gather_has,
+            )
         w, d, kind, red = self._gather_args(spec, weights, deg)
         return _gather_rows(
             values, indptr, nbr, w, d, rows, base, kind, red,

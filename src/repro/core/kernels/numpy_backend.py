@@ -30,10 +30,17 @@ from repro.core.kernels.specs import ApplySpec, GatherSpec
 _F32_ONE = np.float32(1.0)
 
 
+_REDUCE_UFUNCS = {"add": np.add, "min": np.minimum, "or": np.bitwise_or}
+
+
 class NumpyKernels:
     """Fused-shape kernels executed with NumPy whole-array primitives."""
 
     name = "numpy"
+    #: the gather kernels also accept ``(n, C)`` state matrices (one
+    #: column per batched query) and ``(n, W)`` uint64 bitmask words
+    #: with the "or" reduction -- the batch executor's two layouts
+    supports_matrix = True
 
     def __init__(self):
         self.arena = ScratchArena()
@@ -41,20 +48,37 @@ class NumpyKernels:
     # -- gather --------------------------------------------------------
 
     def _edge_values(self, key, spec: GatherSpec, values, deg, indices, weights):
-        """Per-edge contributions into an arena buffer (the fused map)."""
+        """Per-edge contributions into an arena buffer (the fused map).
+
+        2-D ``values`` broadcast the per-edge degree/weight factor over
+        the query columns -- same elementwise ops per column as the
+        scalar path, so per-query results stay bit-identical.
+        """
         n = len(indices)
-        vals = self.arena.get((key, "gv"), n, values.dtype)
-        np.take(values, indices, out=vals)
+        if values.ndim == 2:
+            vals = self.arena.get2d((key, "gv"), n, values.shape[1], values.dtype)
+        else:
+            vals = self.arena.get((key, "gv"), n, values.dtype)
+        np.take(values, indices, axis=0, out=vals)
+        if spec.kind == "copy":
+            return vals
         if spec.kind == "div_degree":
             dvals = self.arena.get((key, "gd"), n, deg.dtype)
             np.take(deg, indices, out=dvals)
-            np.divide(vals, dvals, out=vals)
+            factor = dvals
+            op = np.divide
         elif spec.kind == "mul_weight":
-            np.multiply(vals, weights, out=vals)
+            factor = weights
+            op = np.multiply
         elif spec.kind == "add_weight":
-            np.add(vals, weights, out=vals)
-        elif spec.kind == "add_one":
+            factor = weights
+            op = np.add
+        else:  # add_one
             np.add(vals, _F32_ONE, out=vals)
+            return vals
+        if values.ndim == 2:
+            factor = factor[:, None]
+        op(vals, factor, out=vals)
         return vals
 
     def gather_segments(
@@ -63,9 +87,14 @@ class NumpyKernels:
     ) -> None:
         """Fused gather over a prebuilt plan (map + reduceat + mark)."""
         vals = self._edge_values(key, spec, values, deg, indices, weights)
-        ufunc = np.add if spec.reduce == "add" else np.minimum
-        red = self.arena.get((key, "gr"), len(starts), gather_temp.dtype)
-        ufunc.reduceat(vals, starts, out=red)
+        ufunc = _REDUCE_UFUNCS[spec.reduce]
+        if vals.ndim == 2:
+            red = self.arena.get2d(
+                (key, "gr"), len(starts), vals.shape[1], gather_temp.dtype
+            )
+        else:
+            red = self.arena.get((key, "gr"), len(starts), gather_temp.dtype)
+        ufunc.reduceat(vals, starts, axis=0, out=red)
         gather_temp[verts] = red
         gather_has[verts] = True
 

@@ -35,7 +35,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 GATHER_KINDS = {"copy": 0, "div_degree": 1, "mul_weight": 2, "add_weight": 3, "add_one": 4}
-REDUCE_KINDS = {"add": 0, "min": 1}
+#: "or" is the bit-parallel multi-source reduction (MS-BFS): uint64
+#: bitmask words OR together, 64 traversals per word. Integer state
+#: only -- the batch executor's bit-packed layout is its sole user.
+REDUCE_KINDS = {"add": 0, "min": 1, "or": 2}
 APPLY_KINDS = {"affine": 0, "min_improve": 1, "mark_level": 2}
 CHANGED_MODES = {"all": 0, "tol": 1, "none": 2}
 

@@ -136,6 +136,8 @@ class HostPrefetcher:
             heartbeats.register("prefetcher", kind="prefetcher")
         #: eviction hook: called with the shard index being dropped
         self.on_evict = None
+        #: runs served (>1 when carried across runs via ``keep_warm``)
+        self.runs = 1
         self.hits = 0
         self.waits = 0
         self.faults = 0
@@ -285,6 +287,36 @@ class HostPrefetcher:
                 self.on_evict(old)
 
     # -- lifecycle / reporting -----------------------------------------
+    def rewarm(self, obs=None, heartbeats=None) -> None:
+        """Attach a carried (``keep_warm``) prefetcher to a new run.
+
+        The LRU cache, warming pool and counters all survive -- resident
+        shards from the previous run serve the new run's first touches as
+        hits -- but the per-run integrations are re-aimed: the observer,
+        the health-watchdog registry (the old run's telemetry is gone)
+        and the phase schedule, which the runtime re-derives from the new
+        run's frontier before any shard is acquired.
+        """
+        if obs is not None:
+            self.obs = obs
+        self.heartbeats = heartbeats
+        if heartbeats is not None:
+            heartbeats.register("prefetcher", kind="prefetcher")
+        with self._lock:
+            self._order = []
+            self._pos = {}
+            self._cursor = 0
+            self.runs += 1
+
+    def thread_idents(self) -> set:
+        """Idents of the live warming threads (leak-check baseline when
+        the runtime keeps this prefetcher across runs)."""
+        if self._pool is None:
+            return set()
+        return {
+            t.ident for t in getattr(self._pool, "_threads", ()) if t.is_alive()
+        }
+
     def __enter__(self) -> "HostPrefetcher":
         return self
 
@@ -317,6 +349,7 @@ class HostPrefetcher:
             return {
                 "capacity": self.capacity,
                 "workers": self.workers,
+                "runs": self.runs,
                 "hits": self.hits,
                 "waits": self.waits,
                 "faults": self.faults,

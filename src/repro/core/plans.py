@@ -268,6 +268,10 @@ class PlanCache:
         self.invalidations = 0
         self.evictions = 0
         self.sparse_bypass = 0
+        #: dense plans carried into later runs via :meth:`rebind`
+        #: (``keep_warm``): cumulative count of plan builds later runs
+        #: did not have to repeat.
+        self.carried_plans = 0
         self._lock = threading.Lock()
 
     @property
@@ -287,9 +291,38 @@ class PlanCache:
             "hit_rate": hits / total if total else 0.0,
             "evictions": evictions,
             "sparse_bypass": bypass,
+            "carried_plans": self.carried_plans,
             "budget_bytes": self.budget,
             "held_bytes": held,
         }
+
+    def rebind(self, frontier: FrontierManager, obs=None) -> int:
+        """Re-aim a carried cache at a new run's frontier (``keep_warm``).
+
+        Dense plans (and the dense-vid aranges) are functions of shard
+        topology alone -- the lookup path never consults frontier epochs
+        for them -- so they survive across runs over the same
+        :class:`ShardedGraph`. Everything keyed to the old frontier's
+        epoch counters is dropped: the canonical row sets and the sparse
+        gather/out plans, which a fresh frontier restarting at epoch 0
+        could otherwise alias incorrectly. Returns the number of dense
+        plans carried over (also accumulated in ``carried_plans``).
+        """
+        self.frontier = frontier
+        if obs is not None:
+            self.obs = obs
+        carried = len(self._dense_gather) + len(self._dense_out)
+        for store in self._rows.values():
+            store.clear()
+        self._gather.clear()
+        self._out.clear()
+        with self._lock:
+            self.carried_plans += carried
+            if self.budget is not None:
+                for key in [k for k in self._lru if k[0] in ("gather", "out")]:
+                    self._held_bytes -= self._lru.pop(key)
+        self.obs.add("plans.carried", carried)
+        return carried
 
     # ------------------------------------------------------------------
     # LRU byte accounting (no-ops when ``budget`` is None)

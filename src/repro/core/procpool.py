@@ -230,7 +230,11 @@ class _WorkerEngine(ComputeEngine):
         self.plans = plans
         self.vertex_values = vertex_values
         n = len(vertex_values)
-        self.gather_temp = np.full(n, program.gather_identity, dtype=program.gather_dtype)
+        # Matches the main engine's buffer shape: batched programs carry
+        # one gather column per query (vertex_values arrives 2-D here).
+        self.gather_temp = np.full(
+            vertex_values.shape, program.gather_identity, dtype=program.gather_dtype
+        )
         self.gather_has = np.zeros(n, dtype=bool)
         self.edge_state = edge_state
         self.iteration = 0

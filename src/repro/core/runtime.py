@@ -150,6 +150,18 @@ class GraphReduceOptions:
     memory_budget: int | None = None
     host_prefetch: bool = True
     prefetch_workers: int = 2
+    #: carry host-side warm state across consecutive ``run()`` calls on
+    #: one engine: the prefetcher's LRU (resident shards survive, so the
+    #: next run's first touches are hits instead of faults) and the
+    #: PlanCache's dense plans (topology-only, rebuilt otherwise). The
+    #: batch executor's chunked runs and repeated-query workloads are
+    #: the intended users. Wall-clock only -- results and the simulated
+    #: timeline are bit-identical either way. Ignored by the process-
+    #: pool backend (workers memmap their own shards; the main process
+    #: holds nothing worth keeping). Call :meth:`GraphReduce.close`
+    #: (or use the engine as a context manager) to release the kept
+    #: threads and cache.
+    keep_warm: bool = False
     trace: bool = True
     #: structured observability (hierarchical spans + typed counters,
     #: see :mod:`repro.obs`); when off the runtime uses the shared
@@ -271,6 +283,10 @@ class GraphReduceResult:
     #: per-iteration :class:`repro.core.frontier.DirectionDecision`
     #: records (options.direction != 'push' only; None otherwise)
     direction_decisions: list | None = None
+    #: batch-executor summary (layout, query count, per-query retirement
+    #: iterations) for programs exposing ``batch_stats()``; None for
+    #: ordinary single-query programs
+    batch: dict | None = None
 
     @property
     def memcpy_fraction(self) -> float:
@@ -314,6 +330,28 @@ class GraphReduce:
         self.options = options or GraphReduceOptions()
         self.partition_engine = partition_engine or PartitionEngine()
         self._sharded_cache: dict[tuple, ShardedGraph] = {}
+        # keep_warm carry-over (see GraphReduceOptions.keep_warm):
+        # {"sharded", "prefetcher", "key"} for store-backed runs, and
+        # (plans, sharded, key) for the dense-plan cache. Released by
+        # close() or whenever a run's configuration stops matching.
+        self._warm_prefetch: dict | None = None
+        self._warm_plans: tuple | None = None
+
+    def close(self) -> None:
+        """Release ``keep_warm`` state (prefetcher threads, shard LRU,
+        carried plans). Idempotent; a no-op for engines that never kept
+        anything warm."""
+        if self._warm_prefetch is not None:
+            self._warm_prefetch["prefetcher"].shutdown()
+            self._warm_prefetch = None
+        self._warm_plans = None
+
+    def __enter__(self) -> "GraphReduce":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     def run(self, program: GASProgram, max_iterations: int | None = None) -> GraphReduceResult:
@@ -403,7 +441,14 @@ class GraphReduce:
                 "state (process_safe=False); the processes backend would "
                 "silently diverge per worker -- use serial or threads"
             )
+        keep_state = opts.keep_warm and not use_pool
+        if not keep_state:
+            # A non-warm run (or the pool backend, whose workers memmap
+            # their own shards) invalidates whatever a previous warm run
+            # left behind.
+            self.close()
         prefetcher = None
+        prefetch_key = None
         executor = None
         pool = None
         telemetry_summary = None
@@ -419,7 +464,7 @@ class GraphReduce:
         try:
             with obs.span("partition", category="setup") as part_span:
                 if self.shard_store is not None:
-                    sharded, prefetcher = self._open_store(
+                    sharded, prefetcher, prefetch_key = self._open_store(
                         program,
                         opts,
                         with_weights,
@@ -523,15 +568,32 @@ class GraphReduce:
             frontier = FrontierManager(
                 sharded, np.asarray(program.init_frontier(ctx), dtype=bool), obs=obs
             )
-            plans = PlanCache(
-                sharded,
-                frontier,
-                obs=obs,
-                dense=opts.dense_fast_path,
-                cache=opts.plan_cache,
-                budget=opts.plan_cache_budget,
-                sparse=opts.sparse_bypass,
+            plans = None
+            plans_key = (
+                opts.dense_fast_path,
+                opts.plan_cache,
+                opts.plan_cache_budget,
+                opts.sparse_bypass,
             )
+            if keep_state and self._warm_plans is not None:
+                warm_plans, warm_sharded, warm_key = self._warm_plans
+                if warm_sharded is sharded and warm_key == plans_key:
+                    # Carried cache: dense plans survive, frontier-keyed
+                    # state is dropped and re-aimed at this run.
+                    plans = warm_plans
+                    plans.rebind(frontier, obs=obs)
+                else:
+                    self._warm_plans = None
+            if plans is None:
+                plans = PlanCache(
+                    sharded,
+                    frontier,
+                    obs=obs,
+                    dense=opts.dense_fast_path,
+                    cache=opts.plan_cache,
+                    budget=opts.plan_cache_budget,
+                    sparse=opts.sparse_bypass,
+                )
             if kernels is not None:
                 obs.add(f"kernels.backend.{kernels.name}")
             compute = ComputeEngine(
@@ -539,6 +601,10 @@ class GraphReduce:
             )
             if telem is not None and plans.enabled:
                 telem.add_source("plan_cache", plans.stats)
+            if telem is not None and hasattr(program, "batch_stats"):
+                # Per-query lanes for the monitor: retirement progress
+                # rides the same snapshot stream as the other sources.
+                telem.add_source("batch", program.batch_stats)
             if prefetcher is not None:
                 # Dense plans alias the memmapped shard arrays by reference;
                 # eviction must drop them or the mappings stay pinned.
@@ -602,6 +668,7 @@ class GraphReduce:
             limit = max_iterations if max_iterations is not None else opts.max_iterations
             frontier_bytes = edges.num_vertices // 8 + 1
             iteration_stats: list[IterationStat] = []
+            end_hook = type(program).end_iteration is not GASProgram.end_iteration
             if (
                 opts.parallel_shards > 1
                 and opts.execution_mode == "bsp"
@@ -713,6 +780,14 @@ class GraphReduce:
                 obs.add("runtime.iterations")
                 if telem is not None:
                     telem.iteration(iteration, frontier_size, direction=direction)
+                if end_hook:
+                    # After delta replay (the pool applies worker deltas
+                    # inside run_phase) and before advance clears the
+                    # changed mask, so the hook sees the iteration's
+                    # final values under every backend.
+                    program.end_iteration(
+                        ctx, compute.vertex_values, frontier.changed, iteration
+                    )
                 frontier.advance()
                 iteration += 1
             else:
@@ -728,18 +803,45 @@ class GraphReduce:
                 pool.shutdown()
             if executor is not None:
                 executor.shutdown(wait=True)
-            if prefetcher is not None:
+            keep_prefetcher = (
+                keep_state and run_error is None and prefetcher is not None
+            )
+            if prefetcher is not None and not keep_prefetcher:
                 prefetcher.shutdown()
+                if (
+                    self._warm_prefetch is not None
+                    and self._warm_prefetch["prefetcher"] is prefetcher
+                ):
+                    # An errored warm run killed the carried prefetcher;
+                    # the stale carry-over must not resurrect it.
+                    self._warm_prefetch = None
+                    self._warm_plans = None
             if telem is not None:
                 # After the pools are down so the leaked-thread check
                 # sees the post-shutdown state; emits run_end and
                 # closes the sink even when setup or a phase raised.
+                # A kept (keep_warm) prefetcher's warming threads are
+                # carried state, not leaks -- excluded by ident.
                 telemetry_summary = telem.finish(
                     iteration,
                     converged,
                     error=repr(run_error) if run_error else None,
+                    ignore_threads=(
+                        prefetcher.thread_idents() if keep_prefetcher else None
+                    ),
                 )
 
+        if keep_state:
+            # Reached only on success (errors propagate past the
+            # finally): stash the warm state for the next run.
+            if prefetcher is not None:
+                self._warm_prefetch = {
+                    "sharded": sharded,
+                    "prefetcher": prefetcher,
+                    "key": prefetch_key,
+                }
+            if plans.enabled:
+                self._warm_plans = (plans, sharded, plans_key)
         run_span.set(iterations=iteration, converged=converged)
         run_span_cm.__exit__(None, None, None)
         trace = device.trace
@@ -761,6 +863,14 @@ class GraphReduce:
             kernel_stats = pool_snapshot["kernels"]
         else:
             kernel_stats = compute.kernel_stats()
+        batch_summary = None
+        if hasattr(program, "batch_stats"):
+            batch_summary = program.batch_stats()
+            if batch_summary and obs.enabled:
+                for key, value in batch_summary.items():
+                    if isinstance(value, bool) or not isinstance(value, int):
+                        continue
+                    obs.add(f"batch.{key}", value)
         return GraphReduceResult(
             vertex_values=compute.vertex_values,
             iterations=iteration,
@@ -787,6 +897,7 @@ class GraphReduce:
             direction_decisions=(
                 controller.decisions if controller is not None else None
             ),
+            batch=batch_summary,
         )
 
     # ------------------------------------------------------------------
@@ -819,7 +930,14 @@ class GraphReduce:
                 f"shard store was built with {store.num_partitions}"
             )
         unit_weights = with_weights and not store.weighted
-        sharded = store.sharded_graph(unit_weights=unit_weights)
+        carried = self._warm_prefetch
+        if carried is not None and carried["key"][0] == unit_weights:
+            # Same lazy shard view: its shards stay bound to whichever
+            # prefetcher wins below, and the carried dense plans keyed
+            # on this object's identity stay eligible for reuse.
+            sharded = carried["sharded"]
+        else:
+            sharded = store.sharded_graph(unit_weights=unit_weights)
         if opts.memory_budget is not None:
             capacity = optimal_concurrent_shards(
                 opts.memory_budget,
@@ -831,14 +949,32 @@ class GraphReduce:
             )
         else:
             capacity = store.num_partitions
-        prefetcher = HostPrefetcher(
-            store,
-            capacity,
-            workers=opts.prefetch_workers if (opts.host_prefetch and warm) else 0,
-            obs=obs,
-            unit_weights=unit_weights,
-            heartbeats=telemetry.heartbeats if telemetry is not None else None,
-        )
+        workers = opts.prefetch_workers if (opts.host_prefetch and warm) else 0
+        key = (unit_weights, capacity, workers)
+        if carried is not None and carried["key"] == key:
+            prefetcher = carried["prefetcher"]
+            prefetcher.rewarm(
+                obs=obs,
+                heartbeats=telemetry.heartbeats if telemetry is not None else None,
+            )
+        else:
+            if carried is not None:
+                # Configuration changed (capacity/workers/weights): the
+                # carried cache no longer matches, and the dense plans
+                # alias arrays it holds -- release both.
+                carried["prefetcher"].shutdown()
+                self._warm_prefetch = None
+                self._warm_plans = None
+            prefetcher = HostPrefetcher(
+                store,
+                capacity,
+                workers=workers,
+                obs=obs,
+                unit_weights=unit_weights,
+                heartbeats=telemetry.heartbeats if telemetry is not None else None,
+            )
+            for shard in sharded.shards:
+                shard.bind(prefetcher)
         if telemetry is not None:
             telemetry.add_source(
                 "prefetch",
@@ -846,9 +982,7 @@ class GraphReduce:
                     k: v for k, v in p.snapshot().items() if k != "lane"
                 },
             )
-        for shard in sharded.shards:
-            shard.bind(prefetcher)
-        return sharded, prefetcher
+        return sharded, prefetcher, key
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -873,9 +1007,13 @@ class GraphReduce:
         """Static buffers (Section 3.2): uploaded once, device-resident."""
         vdt = np.dtype(program.vertex_dtype).itemsize
         gdt = np.dtype(program.gather_dtype).itemsize
+        # Batched programs carry one state column per query, so the
+        # resident vertex buffers scale with the batch width (the shard
+        # topology does not) -- the partition choice must account for it.
+        width = getattr(program, "state_cols", None) or 1
         return {
-            "vertex_values": n * vdt,
-            "vertex_update_array": n * gdt,  # the gather result, V-sized
+            "vertex_values": n * vdt * width,
+            "vertex_update_array": n * gdt * width,  # the gather result
             "frontier_flags": 3 * (n // 8 + 1),  # current/next/changed bitmaps
             "degrees": n * 4,
         }

@@ -323,6 +323,8 @@ def _wallclock_cases(shard_store=None, memory_budget=None) -> dict[str, Callable
         "bfs_wallclock": _bfs_wallclock_case,
         "road_sssp_wallclock": _road_sssp_wallclock_case,
         "ooc_pagerank_wallclock": lambda: _ooc_wallclock_case(shard_store, memory_budget),
+        "batch_bfs_wallclock": _batch_bfs_wallclock_case,
+        "batch_pagerank_wallclock": _batch_pagerank_wallclock_case,
         "procpool_pagerank_wallclock": _procpool_wallclock_case,
         "telemetry_pagerank_wallclock": _telemetry_overhead_wallclock_case,
         "numba_pagerank_wallclock": _numba_wallclock_case,
@@ -536,6 +538,191 @@ def _road_sssp_wallclock_case() -> WallclockCase:
             "pull": GraphReduce(edges, options=GraphReduceOptions(**common, direction="pull")),
         },
         min_variant_ratio=1.05,
+    )
+
+
+class _BatchSweepEngine:
+    """WallclockCase adapter: one K-query batch per ``run`` call.
+
+    ``run`` takes the sweep spec the case's ``make_program`` produces
+    (a family plus per-query parameters), executes the whole batch as a
+    single engine run through :class:`repro.core.batch.BatchRunner`,
+    and returns that run's result with ``vertex_values`` swapped for
+    the stacked ``(n, K)`` per-query matrix -- so the harness's
+    bit-equality check compares every query against the slow side's
+    solo sweep, column by column. Batch bookkeeping (retirements,
+    per-query iteration spread) rides on the result as ``batch`` for
+    the snapshot's ``extra`` hook.
+    """
+
+    def __init__(self, engine, layout: str = "auto"):
+        self.engine = engine
+        self.layout = layout
+
+    def run(self, spec):
+        import dataclasses
+
+        from repro.core.batch import BatchRunner
+
+        runner = BatchRunner(self.engine, batch_size=64, layout=self.layout)
+        if spec["family"] == "bfs":
+            report = runner.run_bfs(spec["sources"])
+        else:
+            report = runner.run_pagerank(
+                spec["dampings"], iterations=spec["iterations"]
+            )
+        run = report.runs[0]
+        result = dataclasses.replace(run, vertex_values=report.values_matrix())
+        iters = sorted(q.iterations for q in report.queries)
+        result.batch = dict(
+            run.batch or {},
+            chunks=report.stats["chunks"],
+            retired_early=report.stats["retired_early"],
+            query_iterations={
+                "min": iters[0],
+                "p50": iters[len(iters) // 2],
+                "max": iters[-1],
+            },
+        )
+        return result
+
+
+class _SoloSweepEngine:
+    """WallclockCase adapter: the same sweep as K sequential solo runs.
+
+    Stacks the K solo results into the identical ``(n, K)`` matrix the
+    batch side returns, so the harness's equality check is exactly the
+    batch-vs-solo equivalence contract. The engine configuration is the
+    same as the batch side's -- every host fast path on -- so the
+    measured ratio isolates scan sharing, not a crippled baseline.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def run(self, spec):
+        import dataclasses
+
+        import numpy as np
+
+        from repro.algorithms import BFSGather, PageRank
+
+        cols, last = [], None
+        if spec["family"] == "bfs":
+            for s in spec["sources"]:
+                last = self.engine.run(BFSGather(source=int(s)))
+                cols.append(last.vertex_values)
+        else:
+            for d in spec["dampings"]:
+                last = self.engine.run(
+                    PageRank(
+                        damping=float(d),
+                        tolerance=None,
+                        max_iterations=spec["iterations"],
+                    )
+                )
+                cols.append(last.vertex_values)
+        return dataclasses.replace(last, vertex_values=np.stack(cols, axis=1))
+
+
+def _batch_extra(metrics_result) -> dict:
+    batch = dict(metrics_result.batch)
+    if batch["retired"] != batch["queries"]:
+        raise AssertionError(
+            f"batch left {batch['queries'] - batch['retired']} queries unretired"
+        )
+    return {"batch": batch}
+
+
+def _batch_bfs_wallclock_case() -> WallclockCase:
+    """One MS-BFS batch vs 16 sequential solo BFS runs.
+
+    The fast side packs all 16 traversals into one uint64 word per
+    vertex (bit-parallel MS-BFS) and streams the graph once; the slow
+    side is the identically configured engine running the 16 sources
+    back to back, each paying its own shard stream, plan builds and
+    frontier machinery. Per-query depth columns must match the solo
+    runs bit for bit -- the harness's cross-engine equality check *is*
+    the batch-equivalence gate. ``same_timeline=False``: one fused run
+    cannot share a timeline with 16 runs (the slow result carries the
+    last solo run's clock). The ``columns`` variant times the float32
+    state-matrix layout on the same batch, documenting that bit packing
+    beats 16 depth columns.
+    """
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
+    from repro.graph.generators import erdos_renyi
+
+    edges = erdos_renyi(65_536, 1_000_000, seed=7, name="er-wallclock")
+    sources = [1 + 4099 * k for k in range(16)]
+    common = dict(cache_policy="never", num_partitions=4, observe=False, trace=False)
+    options = GraphReduceOptions(**common)
+    metrics = GraphReduceOptions(cache_policy="never", num_partitions=4)
+    return WallclockCase(
+        engines={
+            "fast": _BatchSweepEngine(GraphReduce(edges, options=options), layout="bits"),
+            "slow": _SoloSweepEngine(GraphReduce(edges, options=options)),
+        },
+        make_program=lambda: {"family": "bfs", "sources": list(sources)},
+        metrics_engine=_BatchSweepEngine(
+            GraphReduce(edges, options=metrics), layout="bits"
+        ),
+        min_speedup=2.0,
+        same_timeline=False,
+        variants={
+            "columns": _BatchSweepEngine(
+                GraphReduce(edges, options=options), layout="columns"
+            ),
+        },
+        min_variant_ratio=1.05,
+        extra=_batch_extra,
+    )
+
+
+def _batch_pagerank_wallclock_case() -> WallclockCase:
+    """One columnar PageRank batch vs 16 sequential out-of-core runs.
+
+    A damping-factor sweep over a shard store under a minimal memory
+    budget -- the configuration where scan sharing is the whole story.
+    Every round must stream all 8 shards through the capacity-1 cache;
+    the fast side fuses the 16 queries into one ``(n, 16)`` float32
+    state matrix and pays that stream once per round, the slow side
+    runs the 16 dampings back to back and pays it 16 times. The
+    per-edge arithmetic is identical on both sides (columns broadcast
+    the same ops, in the same order, the solo run applies), so the
+    ratio measures exactly what the batch executor amortizes: shard
+    loads, plan builds and per-phase dispatch. The metrics pass runs
+    without prefetch threads so the committed hit/fault split stays
+    deterministic, matching ``ooc_pagerank_wallclock``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.partition import PartitionEngine
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
+    from repro.core.shardstore import ShardStore
+    from repro.graph.generators import erdos_renyi
+
+    edges = erdos_renyi(65_536, 1_000_000, seed=7, name="er-wallclock")
+    tmp = Path(tempfile.mkdtemp(prefix="repro-batch-bench-"))
+    store = ShardStore.save(PartitionEngine().partition(edges, 8), tmp / "store")
+    dampings = [0.80 + 0.01 * k for k in range(16)]
+    common = dict(cache_policy="never", observe=False, trace=False, memory_budget=1)
+    options = GraphReduceOptions(**common)
+    metrics = GraphReduceOptions(
+        cache_policy="never", memory_budget=1, host_prefetch=False
+    )
+    spec = {"family": "pagerank", "dampings": dampings, "iterations": 12}
+    return WallclockCase(
+        engines={
+            "fast": _BatchSweepEngine(GraphReduce(shard_store=store, options=options)),
+            "slow": _SoloSweepEngine(GraphReduce(shard_store=store, options=options)),
+        },
+        make_program=lambda: dict(spec),
+        metrics_engine=_BatchSweepEngine(GraphReduce(shard_store=store, options=metrics)),
+        min_speedup=2.0,
+        same_timeline=False,
+        extra=_batch_extra,
+        cleanup=lambda: shutil.rmtree(tmp, ignore_errors=True),
     )
 
 

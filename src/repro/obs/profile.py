@@ -351,13 +351,16 @@ class ProfileReport:
         bypass = pc.get("sparse_bypass", 0)
         if not queries and not bypass:
             return "plan cache         : disabled (no plan queries recorded)"
-        return (
+        line = (
             f"plan cache         : {pc.get('hits', 0)}/{queries} hits "
             f"({100 * pc.get('hit_rate', 0.0):.1f}%), "
             f"{pc.get('invalidations', 0)} invalidations, "
             f"{pc.get('evictions', 0)} evictions, "
             f"{bypass} sparse bypasses (host fast paths)"
         )
+        if pc.get("carried_plans"):
+            line += f", {pc['carried_plans']} plans carried warm"
+        return line
 
     def _kernels_line(self) -> str:
         k = self.kernels
@@ -377,13 +380,16 @@ class ProfileReport:
         acquired = pf.get("hits", 0) + pf.get("waits", 0) + pf.get("faults", 0)
         if not acquired:
             return "host prefetch      : n/a (in-RAM run)"
-        return (
+        line = (
             f"host prefetch      : {pf.get('hits', 0)}/{acquired} warm "
             f"({100 * pf.get('hit_rate', 0.0):.1f}%), "
             f"{pf.get('waits', 0)} waits ({pf.get('wait_seconds', 0.0):.3f} s), "
             f"{pf.get('faults', 0)} faults, {pf.get('evictions', 0)} evictions, "
             f"{pf.get('bytes_loaded', 0) / 2**20:.2f} MiB faulted in"
         )
+        if pf.get("runs", 1) > 1:
+            line += f", kept warm across {pf['runs']} runs"
+        return line
 
     def _procpool_line(self) -> str:
         pp = self.procpool

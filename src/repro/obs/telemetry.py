@@ -326,14 +326,26 @@ class RunTelemetry:
         )
 
     # -- teardown ------------------------------------------------------
-    def finish(self, iterations: int, converged: bool, error: str | None = None) -> dict:
-        """Final check + ``run_end``; safe to call exactly once."""
+    def finish(
+        self,
+        iterations: int,
+        converged: bool,
+        error: str | None = None,
+        ignore_threads: set | None = None,
+    ) -> dict:
+        """Final check + ``run_end``; safe to call exactly once.
+
+        ``ignore_threads`` excludes thread idents from the leak check:
+        the runtime passes the warming threads of a prefetcher it keeps
+        alive across runs (``keep_warm``), which are carried state, not
+        leaks.
+        """
         if self._finished:
             return self.summary()
         self._finished = True
         self.heartbeats.unregister("main-loop")
         self.watchdog.shutdown()
-        self.watchdog.check_threads()
+        self.watchdog.check_threads(baseline=ignore_threads)
         flight = (
             self.obs.snapshot()
             if isinstance(self.obs, FlightRecorder)
