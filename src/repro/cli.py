@@ -158,7 +158,7 @@ def _fastpath_options(args) -> dict:
         workers = 0
     elif workers <= 0:
         # A parallel backend was requested without a worker count.
-        workers = 2 if backend == "processes" else 0
+        workers = 2 if backend in ("processes", "cluster") else 0
     opts = {
         "dense_fast_path": not args.no_dense_path,
         "plan_cache": not args.no_plan_cache,
@@ -168,6 +168,7 @@ def _fastpath_options(args) -> dict:
         "direction_beta": args.direction_beta,
         "parallel_shards": workers,
         "parallel_backend": backend,
+        "frontier_policy": getattr(args, "frontier_policy", "replicated"),
         "kernel_backend": args.kernel_backend,
     }
     if args.plan_cache_budget is not None:
@@ -283,6 +284,52 @@ def _print_prefetch(result) -> None:
     print(line)
 
 
+def _run_multidevice(args, opts) -> int:
+    """`repro run --devices N`: the simulated multi-device scheduler."""
+    from repro.core.multigpu import MultiGPUGraphReduce
+
+    if getattr(args, "shard_store", None):
+        raise SystemExit(
+            "error: --devices needs an in-RAM --graph (the multi-device "
+            "scheduler partitions and distributes the graph itself)"
+        )
+    if not args.graph:
+        raise SystemExit("error: provide --graph")
+    graph = prepare(load_graph(args.graph), args)
+    sources = _source_ids(args)
+    if args.algorithm in ("bfs", "bfs-gather", "sssp", "sssp-delta"):
+        _check_sources(sources, graph.num_vertices)
+        if len(sources) > 1:
+            raise SystemExit(
+                "error: --devices runs a single query; multi-source "
+                "batches use `repro batch` on one device"
+            )
+    program = ALGORITHMS[args.algorithm](args)
+    result = MultiGPUGraphReduce(
+        graph, num_devices=args.devices, options=opts
+    ).run(program, max_iterations=args.max_iterations)
+    vals = result.vertex_values
+    print(f"graph      : {graph}")
+    print(f"algorithm  : {program.name}")
+    print(f"devices    : {result.num_devices} "
+          f"({result.num_partitions} shards, "
+          f"frontier {result.frontier_policy})")
+    print("ownership  : " + ", ".join(
+        f"dev{d.device}={d.owned_shards} shards/{d.owned_vertices} vertices"
+        for d in result.per_device))
+    print(f"iterations : {result.iterations} (converged={result.converged})")
+    print(f"sim time   : {result.sim_time:.6f} s "
+          f"(memcpy {result.memcpy_time:.6f} s summed over devices)")
+    print(f"replication: {result.replication_bytes / 2**20:.2f} MiB "
+          f"(peer DMA {result.p2p_bytes / 2**20:.2f} MiB, "
+          f"host-staged {result.host_staged_bytes / 2**20:.2f} MiB)")
+    finite = vals[np.isfinite(vals)]
+    if len(finite):
+        print(f"values     : min {finite.min():.4g}, max {finite.max():.4g}, "
+              f"finite {len(finite)}/{len(vals)}")
+    return 0
+
+
 def cmd_run(args) -> int:
     opts = (
         GraphReduceOptions.unoptimized()
@@ -299,6 +346,8 @@ def cmd_run(args) -> int:
     telemetry_cfg = _telemetry_config(args)
     if telemetry_cfg is not None:
         opts = replace(opts, telemetry=telemetry_cfg)
+    if getattr(args, "devices", 1) > 1:
+        return _run_multidevice(args, opts)
     engine, graph = _make_engine(args, opts)
     sources = _source_ids(args)
     if args.algorithm in ("bfs", "bfs-gather", "sssp", "sssp-delta"):
@@ -406,9 +455,24 @@ def cmd_profile(args) -> int:
             **_fastpath_options(args),
         )
     )
-    engine, _graph = _make_engine(args, opts)
+    engine, graph = _make_engine(args, opts)
     result = engine.run(program, max_iterations=args.max_iterations)
     report = build_profile(result)
+    if getattr(args, "devices", 1) > 1:
+        from repro.core.multigpu import MultiGPUGraphReduce
+
+        mg = MultiGPUGraphReduce(
+            graph, num_devices=args.devices, options=opts
+        ).run(ALGORITHMS[args.algorithm](args), max_iterations=args.max_iterations)
+        report.devices = {
+            "num_devices": mg.num_devices,
+            "frontier_policy": mg.frontier_policy,
+            "sim_time": mg.sim_time,
+            "speedup_vs_profiled": report.sim_time / mg.sim_time if mg.sim_time else 0.0,
+            "replication_bytes": mg.replication_bytes,
+            "p2p_bytes": mg.p2p_bytes,
+            "host_staged_bytes": mg.host_staged_bytes,
+        }
     print(report.to_text())
     path = write_profile(args.out, report)
     print(f"\nwrote {path}")
@@ -879,16 +943,28 @@ def _add_fastpath_args(p) -> None:
         help="workers for parallel shard compute (0 = off; bsp only)",
     )
     p.add_argument(
-        "--parallel-backend", choices=("serial", "threads", "processes"),
+        "--parallel-backend",
+        choices=("serial", "threads", "processes", "cluster"),
         default="threads",
         help="how parallel shard workers execute: GIL-releasing threads "
-             "(default) or a spawn-safe process pool attaching the shard "
-             "arrays zero-copy; 'serial' disables shard parallelism",
+             "(default), a spawn-safe process pool attaching the shard "
+             "arrays zero-copy (processes), or partitioned-ownership "
+             "workers that each attach only their owned shard slice and "
+             "exchange sparse boundary deltas through shared-memory "
+             "mailboxes (cluster); 'serial' disables shard parallelism",
     )
     p.add_argument(
         "--workers", type=int, default=None,
         help="alias for --parallel-shards (with --parallel-backend "
-             "processes, defaults to 2 when neither is given)",
+             "processes or cluster, defaults to 2 when neither is given)",
+    )
+    p.add_argument(
+        "--frontier-policy", choices=("replicated", "partitioned"),
+        default="replicated",
+        help="boundary-exchange policy for the cluster backend and the "
+             "multi-device scheduler: full frontier bitmaps everywhere "
+             "(replicated, default) or owned-slice/pairwise-boundary "
+             "bits only (partitioned); results are bit-identical",
     )
     p.add_argument(
         "--plan-cache-budget", type=int, default=None,
@@ -976,6 +1052,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--execution-mode", choices=("bsp", "async"), default="bsp",
         help="bulk-synchronous phases (paper) or asynchronous sweeps",
+    )
+    run_p.add_argument(
+        "--devices", type=int, default=1,
+        help="run on N simulated accelerators via the multi-device "
+             "scheduler (in-RAM graphs only; results stay bit-identical "
+             "to one device, only the performance plane changes)",
     )
     run_p.add_argument(
         "--sources-file", default=None,
@@ -1142,6 +1224,11 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--k", type=int, default=3)
     prof_p.add_argument("--power-iterations", type=int, default=25)
     prof_p.add_argument("--max-iterations", type=int, default=100_000)
+    prof_p.add_argument(
+        "--devices", type=int, default=1,
+        help="also project the run onto N simulated accelerators and "
+             "report the multi-device scaling row",
+    )
     _add_store_args(prof_p)
 
     diff_p = sub.add_parser(

@@ -1,22 +1,42 @@
-"""Multi-GPU GraphReduce (the paper's future work, Section 8 item 1).
+"""Multi-device GraphReduce scheduler (the paper's future work, Section 8).
 
-Scales the single-device engine to N accelerators on one host: shards
-are distributed round-robin across devices, each device owns its shards
-for every phase of every iteration (so edge data never migrates), and
-the resident vertex arrays are *replicated* -- after each iteration the
-devices exchange their changed vertex values and frontier flags through
-host memory (an all-gather over PCIe), which is the standard replicated-
-vertex design for multi-GPU GAS systems of that era.
+Scales the single-device engine to N simulated accelerators on one
+host. Shard ownership comes from the shared partitioned-ownership
+abstraction (:mod:`repro.core.ownership`): each device owns a
+contiguous block of shards for the whole run, so edge data never
+migrates and each device's vertex intervals form one contiguous range.
 
-Each device has its own PCIe copy engines (as on dual-socket boards with
-one switch per device), so shard streaming scales; the replication
-all-gather is the part that does not, which is exactly the scaling
-behaviour the ablation benchmark shows.
+The resident vertex arrays are logically replicated, but the
+iteration-end exchange is *sparse*: each producer device publishes only
+the vertices **it owns that changed this iteration** (value + index),
+never the full array, and never other devices' changes (the legacy
+design all-gathered every changed vertex from every device to every
+device, an N^2 blow-up of redundant bytes). Two frontier policies
+govern what rides along:
+
+* ``replicated`` -- each producer ships the full frontier bitmap with
+  its changed values, keeping complete bitmaps on every device (the
+  classic multi-GPU GAS design).
+* ``partitioned`` -- a producer ships consumer ``e`` only the changed
+  vertices ``e`` actually reads across the ownership boundary
+  (``boundary_matrix[(e, d)]``), plus that pair's boundary bits.
+
+Transfer routing follows the node's switch topology
+(:class:`repro.sim.specs.LinkSpec` via
+:class:`repro.sim.transfer.InterconnectModel`): same-switch pairs use a
+single peer-DMA link crossing; cross-switch pairs stage through host
+DRAM as a D2H + H2D pair. Both routes are enqueued on the simulated
+streams, so the scaling curve reflects the topology.
+
+Semantics are exact: one shared :class:`ComputeEngine` executes every
+shard, so vertex values, iteration counts, and convergence are
+bit-identical regardless of device count or frontier policy -- only the
+performance plane (sim time, transfer bytes) changes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -25,13 +45,33 @@ from repro.core.compute import ComputeEngine
 from repro.core.frontier import FrontierManager
 from repro.core.fusion import build_plan
 from repro.core.movement import DataMovementEngine, MovementConfig
-from repro.core.partition import PartitionEngine
+from repro.core.ownership import (
+    OwnershipMap,
+    boundary_matrix,
+    check_frontier_policy,
+    owned_vertex_mask,
+)
+from repro.core.partition import IDX_BYTES, PartitionEngine
 from repro.core.runtime import GraphReduce, GraphReduceOptions, RuntimeContext
 from repro.graph.edgelist import EdgeList
 from repro.sim.device import GPUDevice
 from repro.sim.engine import Simulator
 from repro.sim.specs import MachineSpec, default_machine
 from repro.sim.trace import TraceRecorder
+from repro.sim.transfer import InterconnectModel
+
+
+@dataclass
+class DeviceReport:
+    """Per-device accounting for one multi-device run."""
+
+    device: int
+    owned_shards: int
+    owned_vertices: int
+    #: replication bytes this device produced (sent to peers/host)
+    bytes_sent: int = 0
+    #: replication bytes this device ingested
+    bytes_received: int = 0
 
 
 @dataclass
@@ -42,10 +82,16 @@ class MultiGPUResult:
     sim_time: float
     num_devices: int
     num_partitions: int
+    frontier_policy: str
     #: summed transfer time across all devices
     memcpy_time: float
-    #: per-iteration vertex-replication traffic, bytes
+    #: total vertex-replication traffic, bytes (sum over ordered pairs)
     replication_bytes: int
+    #: replication bytes that moved over peer DMA (same-switch pairs)
+    p2p_bytes: int
+    #: replication bytes that staged through host DRAM (cross-switch)
+    host_staged_bytes: int
+    per_device: list = field(default_factory=list)
 
 
 class MultiGPUGraphReduce:
@@ -57,6 +103,7 @@ class MultiGPUGraphReduce:
         num_devices: int = 2,
         machine: MachineSpec | None = None,
         options: GraphReduceOptions | None = None,
+        frontier_policy: str | None = None,
     ):
         if num_devices < 1:
             raise ValueError(f"num_devices must be >= 1, got {num_devices!r}")
@@ -64,6 +111,10 @@ class MultiGPUGraphReduce:
         self.num_devices = num_devices
         self.machine = machine or default_machine()
         self.options = options or GraphReduceOptions()
+        self.frontier_policy = check_frontier_policy(
+            frontier_policy if frontier_policy is not None
+            else self.options.frontier_policy
+        )
 
     def run(self, program: GASProgram, max_iterations: int | None = None) -> MultiGPUResult:
         opts = self.options
@@ -86,6 +137,16 @@ class MultiGPUGraphReduce:
         # At least one shard per device.
         p = max(p_per_device, self.num_devices)
         sharded = PartitionEngine().partition(edges, p, opts.partition_logic)
+
+        ownership = OwnershipMap.contiguous(p, self.num_devices)
+        ownership.validate()
+        owner = ownership.owner_of
+        owned_masks = [
+            owned_vertex_mask(sharded, ownership, d)
+            for d in range(self.num_devices)
+        ]
+        partitioned = self.frontier_policy == "partitioned"
+        pair_vids = boundary_matrix(sharded, ownership) if partitioned else {}
 
         sim = Simulator()
         devices = [
@@ -112,14 +173,22 @@ class MultiGPUGraphReduce:
         )
         compute = ComputeEngine(sharded, program, ctx, frontier)
         plan = build_plan(program, optimized=opts.fusion, fuse_gather=opts.fuse_gather)
+        interconnect = InterconnectModel(self.machine.device, self.machine.link)
 
-        owner = {s.index: s.index % self.num_devices for s in sharded.shards}
+        reports = [
+            DeviceReport(
+                device=d,
+                owned_shards=len(ownership.shards_of(d)),
+                owned_vertices=int(owned_masks[d].sum()),
+            )
+            for d in range(self.num_devices)
+        ]
         limit = max_iterations if max_iterations is not None else opts.max_iterations
-        # Replication payload: changed vertex values + frontier bitmap,
-        # exchanged D2H then H2D on the N-1 other devices.
         vdt = np.dtype(program.vertex_dtype).itemsize
-        frontier_bytes = edges.num_vertices // 8 + 1
+        full_bitmap_bytes = edges.num_vertices // 8 + 1
         replication_bytes = 0
+        p2p_bytes = 0
+        host_staged_bytes = 0
         converged = False
         iteration = 0
         while iteration < limit:
@@ -147,18 +216,47 @@ class MultiGPUGraphReduce:
                     )
                 for dev in devices:
                     dev.synchronize()  # BSP barrier across all devices
-            # Vertex replication: every device publishes its intervals'
-            # changed values; every other device ingests them.
-            changed = int(frontier.changed.sum())
-            payload = changed * vdt + frontier_bytes
-            for d, movement in enumerate(movements):
-                movement.streams[0].memcpy_d2h(payload, label="replicate-out")
-                for other, m2 in enumerate(movements):
-                    if other != d:
-                        m2.streams[0].memcpy_h2d(payload, label="replicate-in")
+            # Sparse replication: each producer device publishes only the
+            # vertices it owns that changed this iteration. Routing and
+            # payload per ordered (producer, consumer) pair follow the
+            # switch topology and the frontier policy.
+            changed = frontier.changed
+            for d in range(self.num_devices):
+                changed_owned = int(np.count_nonzero(changed[owned_masks[d]]))
+                for e in range(self.num_devices):
+                    if e == d:
+                        continue
+                    if partitioned:
+                        vids = pair_vids.get((e, d))
+                        if vids is None:
+                            continue  # no edge crosses this pair
+                        k = int(np.count_nonzero(changed[vids]))
+                        payload = k * (vdt + IDX_BYTES) + (len(vids) + 7) // 8
+                    else:
+                        payload = (
+                            changed_owned * (vdt + IDX_BYTES) + full_bitmap_bytes
+                        )
+                    if interconnect.peer_capable(d, e):
+                        # One link crossing: peer DMA from d straight
+                        # into e's memory.
+                        movements[d].streams[0].memcpy_d2h(
+                            payload, label="replicate-peer"
+                        )
+                        p2p_bytes += payload
+                    else:
+                        # Two crossings through host DRAM.
+                        movements[d].streams[0].memcpy_d2h(
+                            payload, label="replicate-out"
+                        )
+                        movements[e].streams[0].memcpy_h2d(
+                            payload, label="replicate-in"
+                        )
+                        host_staged_bytes += payload
+                    replication_bytes += payload
+                    reports[d].bytes_sent += payload
+                    reports[e].bytes_received += payload
             for dev in devices:
                 dev.synchronize()
-            replication_bytes += payload * self.num_devices * self.num_devices
             frontier.advance()
             iteration += 1
         else:
@@ -171,6 +269,10 @@ class MultiGPUGraphReduce:
             sim_time=sim.now,
             num_devices=self.num_devices,
             num_partitions=sharded.num_partitions,
+            frontier_policy=self.frontier_policy,
             memcpy_time=sum(d.trace.memcpy_time() for d in devices),
             replication_bytes=replication_bytes,
+            p2p_bytes=p2p_bytes,
+            host_staged_bytes=host_staged_bytes,
+            per_device=reports,
         )

@@ -373,11 +373,16 @@ class _WorkerRunner:
         self._sync_id = -1
         self._iteration_seen = False
 
+    def _on_sync(self) -> None:
+        """Hook before ``begin_sync`` on a new publish; cluster workers
+        ingest their mailbox here."""
+
     def run_task(self, msg):
         _, sync_id, iteration, phases, shard_index, count_full, a_epoch, c_epoch = msg
         t_start = perf_counter() - self.t0
         if sync_id != self._sync_id:
             self._sync_id = sync_id
+            self._on_sync()
             self.frontier.begin_sync()
         self.frontier.begin_task(shard_index, a_epoch, c_epoch)
         if not self._iteration_seen or iteration != self.engine.iteration:
@@ -395,11 +400,169 @@ class _WorkerRunner:
         return ("ok", shard_index, self.worker_id, per_phase, deltas, t_start, t_end)
 
 
+class _ClusterWorkerRunner(_WorkerRunner):
+    """Partitioned-ownership worker: owned shards only + delta mailbox.
+
+    Differences from the replicated runner:
+
+    * **Graph**: only the worker's *owned* shards are attached -- the
+      per-worker shm segment holds just their arrays, and store-backed
+      runs bind just the owned lazy shards (the others are never
+      faulted). Per-worker resident bytes scale down with ownership.
+    * **State**: instead of read-only views of a full published
+      snapshot, the worker keeps *private writable copies* of the
+      vertex values, frontier masks and edge state, bootstrapped once
+      from the state segment at attach.
+    * **Sync**: on each new publish the worker ingests its fixed-slot
+      mailbox -- sparse ``(indices, values)`` vertex records, packed
+      frontier bitmaps (full or owned-slice, per the frontier policy)
+      and sparse edge-state records -- written by the main process
+      before the first task of the phase was enqueued.
+    """
+
+    def __init__(self, spec, segments: list):
+        from repro.core.partition import Shard
+
+        self.worker_id = spec["worker_id"]
+        self.t0 = spec["t0"]
+        num_vertices = spec["num_vertices"]
+        mode = spec["graph"][0]
+        if mode == "shm":
+            _, seg_name, toc = spec["graph"]
+            shm = _attach_segment(seg_name)
+            segments.append(shm)
+            views = _segment_views(shm, toc, writable=False)
+            shards = []
+            for index, start, stop, _num_in, _num_out in spec["shards"]:
+                pre = f"s{index}."
+                shards.append(
+                    Shard(
+                        index=index,
+                        start=start,
+                        stop=stop,
+                        csc=CSR(
+                            views[pre + "csc.indptr"],
+                            views[pre + "csc.indices"],
+                            views[pre + "csc.edge_ids"],
+                        ),
+                        csr=CSR(
+                            views[pre + "csr.indptr"],
+                            views[pre + "csr.indices"],
+                            views[pre + "csr.edge_ids"],
+                        ),
+                        csc_weights=views.get(pre + "csc.weights"),
+                        csr_weights=views.get(pre + "csr.weights"),
+                    )
+                )
+        else:
+            from repro.core.shardstore import ShardStore
+
+            _, path, unit_weights = spec["graph"]
+            store = ShardStore.open(path)
+            lazy = store.sharded_graph(unit_weights=unit_weights).shards
+            # Bind only the owned shards: the others stay manifest
+            # entries and are never memmapped by this process.
+            shards = [lazy[index] for index, *_rest in spec["shards"]]
+        state_name, state_toc = spec["state"]
+        state_shm = _attach_segment(state_name)
+        segments.append(state_shm)
+        state = _segment_views(state_shm, state_toc, writable=False)
+        # Private writable copies: the mailbox ingest below is the only
+        # writer, so the worker's view of the run state advances exactly
+        # one publish at a time, like the replicated snapshot -- but the
+        # full-state segment is touched once (bootstrap), not per phase.
+        self.vertex_values = np.array(state["vertex_values"])
+        current = np.array(state["current"])
+        changed = np.array(state["changed"])
+        edge_state = (
+            np.array(state["edge_state"]) if "edge_state" in state else None
+        )
+        ctx = _SharedContext(
+            num_vertices,
+            spec["num_edges"],
+            state["out_degrees"],
+            state["in_degrees"],
+        )
+        mbox_name, mbox_toc = spec["mailbox"]
+        mbox_shm = _attach_segment(mbox_name)
+        segments.append(mbox_shm)
+        self._mbox = _segment_views(mbox_shm, mbox_toc, writable=False)
+        self._mbox_seen = 0
+        self._mask_lo, self._mask_hi = spec["mask_range"]
+        self._current = current
+        self._changed = changed
+        self._edge_state = edge_state
+
+        self.shards = {s.index: s for s in shards}
+        # Plan epochs are indexed by *global* shard index -- the worker
+        # holds a subset of the shards but must size the epoch arrays
+        # for all of them.
+        self.frontier = _WorkerFrontier(spec["num_partitions"], current, changed)
+        sharded = _WorkerSharded(num_vertices, spec["boundaries"], shards)
+        self.plans = PlanCache(
+            sharded,
+            self.frontier,
+            dense=spec["dense"],
+            cache=spec["cache"],
+            budget=spec["plan_budget"],
+            sparse=spec.get("sparse", True),
+        )
+        from repro.core.kernels import resolve_backend
+
+        kernels = resolve_backend(spec.get("kernel_backend", "off"))
+        self.engine = _WorkerEngine(
+            spec["program"],
+            ctx,
+            self.frontier,
+            self.plans,
+            self.vertex_values,
+            edge_state,
+            kernels=kernels,
+        )
+        self._sync_id = -1
+        self._iteration_seen = False
+
+    def _on_sync(self) -> None:
+        """Apply the mailbox the main process wrote for this publish.
+
+        The header sequence number decouples mailbox freshness from the
+        task sync id: a worker with no tasks for several phases sees one
+        mailbox carrying the *accumulated* pending rows, applied once.
+        Safe by construction: the main process writes a mailbox only
+        while this worker is idle (all its previous-phase results were
+        collected before the next publish), and the queue message that
+        triggers this read is sent after the write completes.
+        """
+        header = self._mbox["header"]
+        seq = int(header[0])
+        if seq == self._mbox_seen:
+            return
+        self._mbox_seen = seq
+        k = int(header[1])
+        if k:
+            rows = self._mbox["vidx"][:k]
+            self.vertex_values[rows] = self._mbox["vvals"][:k]
+        lo, hi = self._mask_lo, self._mask_hi
+        span = hi - lo
+        self._current[lo:hi] = np.unpackbits(
+            self._mbox["cur"], count=span
+        ).view(bool)
+        self._changed[lo:hi] = np.unpackbits(
+            self._mbox["chg"], count=span
+        ).view(bool)
+        if self._edge_state is not None:
+            m = int(header[2])
+            if m:
+                eids = self._mbox["eidx"][:m]
+                self._edge_state[eids] = self._mbox["evals"][:m]
+
+
 def _worker_main(spec, task_q, result_q):  # pragma: no cover - child process
     os.environ[ENV_WORKER_FLAG] = str(spec["worker_id"])
     segments: list = []
+    runner_cls = _ClusterWorkerRunner if spec.get("cluster") else _WorkerRunner
     try:
-        runner = _WorkerRunner(spec, segments)
+        runner = runner_cls(spec, segments)
     except Exception:
         result_q.put(("init_error", spec["worker_id"], traceback.format_exc()))
         return
@@ -613,6 +776,11 @@ class ProcessPool:
                 raise WorkerCrashed(f"worker {w} died (exit code {proc.exitcode})")
 
     # ------------------------------------------------------------------
+    def _worker_for(self, shard_index: int) -> int:
+        """Worker pinned to a shard (round-robin; ownership in cluster)."""
+        return shard_index % self.num_workers
+
+    # ------------------------------------------------------------------
     def _publish(self) -> None:
         """Copy the mutable state into the snapshot segment.
 
@@ -643,7 +811,7 @@ class ProcessPool:
         self._sync_id += 1
         fr = self._frontier
         for shard in shards:
-            self._task_qs[shard.index % self.num_workers].put(
+            self._task_qs[self._worker_for(shard.index)].put(
                 (
                     _TASK,
                     self._sync_id,
@@ -660,7 +828,7 @@ class ProcessPool:
         self._obs.add("procpool.tasks", len(shards))
         if self._heartbeats is not None:
             for shard in shards:
-                w = shard.index % self.num_workers
+                w = self._worker_for(shard.index)
                 self._outstanding[w] += 1
                 self._heartbeats.busy(f"worker-{w}", True)
         pending: dict[int, tuple] = {}
@@ -709,7 +877,7 @@ class ProcessPool:
         """
         if self._heartbeats is None or not self._stall_timeout:
             return
-        w = index % self.num_workers
+        w = self._worker_for(index)
         if self._outstanding[w] <= 0:
             return
         name = f"worker-{w}"
@@ -843,3 +1011,404 @@ class ProcessPool:
             "kernels": kernels,
             "lane": list(self.lane),
         }
+
+
+# ----------------------------------------------------------------------
+# Cluster pool: partitioned ownership + boundary-delta mailboxes
+# ----------------------------------------------------------------------
+class ClusterPool(ProcessPool):
+    """Partitioned-ownership variant of the process pool.
+
+    Where :class:`ProcessPool` replicates the whole graph into every
+    worker and re-publishes the full mutable state every phase, the
+    cluster pool assigns each worker a contiguous block of shards
+    (:class:`repro.core.ownership.OwnershipMap`) and ships only what
+    crosses the ownership boundary:
+
+    * each worker attaches **only its owned shards** (a per-worker shm
+      segment for in-RAM runs; owned-only lazy-shard binding for
+      store-backed runs), so per-worker resident bytes shrink with the
+      worker count instead of staying at the full-graph footprint;
+    * between phases the main process diffs the live state against its
+      shadow copy and packs, per tasked worker, only the **pending rows
+      that worker can read** (its owned intervals plus its in-boundary
+      source vertices) into a fixed-slot shared-memory mailbox --
+      ``(indices, values)`` records plus packed activation bitmaps
+      (full under the ``replicated`` frontier policy, the owned slice
+      under ``partitioned``);
+    * mailboxes are filled in fixed owner order and each worker's tasks
+      are enqueued right after its mailbox write, so the first owner is
+      already computing while later owners' deltas are still being
+      packed -- the exchange overlaps the next shard's compute.
+
+    Results stay bit-identical to serial execution: workers still
+    return deltas, and :meth:`ProcessPool._replay` merges them in the
+    serial shard order. Mailbox slots are sized to the worker's full
+    readable set, so a publish can never overflow; a publish whose
+    vertex slot fills completely is counted as a *mailbox stall* (the
+    sparse exchange degenerated to a full replication for that worker).
+    """
+
+    def __init__(self, *, frontier_policy: str = "replicated", **kw):
+        from repro.core.ownership import check_frontier_policy
+
+        self._policy = check_frontier_policy(frontier_policy)
+        self.boundary_bytes_sent = 0
+        self.delta_bytes_merged = 0
+        self.mailbox_stalls = 0
+        self.mailbox_publishes = 0
+        super().__init__(**kw)
+
+    # ------------------------------------------------------------------
+    def _worker_for(self, shard_index: int) -> int:
+        return self._owner_of[shard_index]
+
+    def _start(
+        self, mp, sharded, program, ctx, store, unit_weights, dense, cache,
+        sparse, plan_budget, kernel_backend,
+    ):
+        from repro.core.ownership import (
+            OwnershipMap,
+            boundary_sets,
+            estimate_shard_bytes,
+        )
+
+        spawn = mp.get_context("spawn")
+        n = sharded.num_vertices
+        num_edges = getattr(ctx, "num_edges", 0)
+        ownership = OwnershipMap.contiguous(sharded.num_partitions, self.num_workers)
+        ownership.validate()
+        self._ownership = ownership
+        self._owner_of = ownership.owner_of
+        in_bounds, out_bounds = boundary_sets(sharded, ownership)
+        self.boundary_in_sizes = [len(b) for b in in_bounds]
+        self.boundary_out_sizes = [len(b) for b in out_bounds]
+
+        if store is not None:
+            with_weights = bool(store.weighted or unit_weights)
+        else:
+            with_weights = any(
+                s.csc_weights is not None for s in sharded.shards
+            )
+        shard_manifest = {
+            s.index: (s.index, s.start, s.stop, s.num_in_edges, s.num_out_edges)
+            for s in sharded.shards
+        }
+        if store is not None:
+            # Count math only -- never fault the store's memmaps.
+            shard_bytes = {
+                i: estimate_shard_bytes(row[2] - row[1], row[3], row[4], with_weights)
+                for i, row in shard_manifest.items()
+            }
+        else:
+            # In-RAM shards are already materialized: use the actual
+            # array footprints so worker/single comparisons share units
+            # (the per-worker segment holds exactly these arrays).
+            shard_bytes = {}
+            for s in sharded.shards:
+                total = (
+                    s.csc.indptr.nbytes + s.csc.indices.nbytes
+                    + s.csc.edge_ids.nbytes + s.csr.indptr.nbytes
+                    + s.csr.indices.nbytes + s.csr.edge_ids.nbytes
+                )
+                if s.csc_weights is not None:
+                    total += s.csc_weights.nbytes
+                if s.csr_weights is not None:
+                    total += s.csr_weights.nbytes
+                shard_bytes[s.index] = total
+
+        # --- bootstrap state segment (doubles as the main-side shadow) --
+        out_deg = np.asarray(ctx.out_degrees)
+        in_deg = np.asarray(ctx.in_degrees)
+        state_arrays = {
+            "vertex_values": self._compute.vertex_values,
+            "current": self._frontier.current,
+            "changed": self._frontier.changed,
+            "out_degrees": out_deg,
+            "in_degrees": in_deg,
+        }
+        if self._compute.edge_state is not None:
+            state_arrays["edge_state"] = self._compute.edge_state
+        state_shm, state_toc = _create_segment(state_arrays, "state")
+        self._segments.append(state_shm)
+        self._state_views = _segment_views(state_shm, state_toc, writable=True)
+
+        vv = self._compute.vertex_values
+        self._vrow_bytes = vv.nbytes // max(n, 1)
+        es = self._compute.edge_state
+        self._erow_bytes = es.nbytes // max(num_edges, 1) if es is not None else 0
+        # Worker-side run state: values + gather scratch (same shape),
+        # bool masks + gather_has, edge state, degree arrays.
+        state_bytes = (
+            2 * vv.nbytes
+            + 3 * n
+            + (es.nbytes if es is not None else 0)
+            + out_deg.nbytes
+            + in_deg.nbytes
+        )
+
+        self._pending_v = [np.zeros(n, dtype=bool) for _ in range(self.num_workers)]
+        self._readable_v = []
+        self._pending_e = (
+            [np.zeros(num_edges, dtype=bool) for _ in range(self.num_workers)]
+            if es is not None
+            else None
+        )
+        self._mask_range = []
+        self._mailboxes = []
+        self._mbox_seq = [0] * self.num_workers
+        self.worker_resident_bytes = []
+        self.single_process_bytes = sum(shard_bytes.values()) + state_bytes
+
+        spec_base = {
+            "t0": self._t0,
+            "cluster": True,
+            "program": program,
+            "num_vertices": n,
+            "num_edges": num_edges,
+            "num_partitions": sharded.num_partitions,
+            "boundaries": np.asarray(sharded.boundaries),
+            "state": (state_shm.name, state_toc),
+            "dense": dense,
+            "cache": cache,
+            "sparse": sparse,
+            "plan_budget": plan_budget,
+            "kernel_backend": kernel_backend,
+        }
+        self._result_q = spawn.Queue()
+        for w in range(self.num_workers):
+            owned_ids = ownership.shards_of(w)
+            owned = [shard_manifest[i] for i in owned_ids]
+            # Contiguous ownership: the owned vertex set is one range.
+            lo = min(row[1] for row in owned)
+            hi = max(row[2] for row in owned)
+
+            if store is not None:
+                graph_spec = ("store", str(store.path), bool(unit_weights))
+                graph_nbytes = 0
+            else:
+                arrays = {}
+                for i in owned_ids:
+                    s = sharded.shards[i]
+                    pre = f"s{s.index}."
+                    arrays[pre + "csc.indptr"] = s.csc.indptr
+                    arrays[pre + "csc.indices"] = s.csc.indices
+                    arrays[pre + "csc.edge_ids"] = s.csc.edge_ids
+                    arrays[pre + "csr.indptr"] = s.csr.indptr
+                    arrays[pre + "csr.indices"] = s.csr.indices
+                    arrays[pre + "csr.edge_ids"] = s.csr.edge_ids
+                    if s.csc_weights is not None:
+                        arrays[pre + "csc.weights"] = s.csc_weights
+                    if s.csr_weights is not None:
+                        arrays[pre + "csr.weights"] = s.csr_weights
+                graph_shm, graph_toc = _create_segment(arrays, f"graph{w}")
+                self._segments.append(graph_shm)
+                graph_spec = ("shm", graph_shm.name, graph_toc)
+                graph_nbytes = graph_shm.size
+
+            readable = np.zeros(n, dtype=bool)
+            readable[lo:hi] = True
+            readable[in_bounds[w]] = True
+            self._readable_v.append(readable)
+            mask_lo, mask_hi = (lo, hi) if self._policy == "partitioned" else (0, n)
+            self._mask_range.append((mask_lo, mask_hi))
+
+            # Fixed mailbox slots sized to the worker's full readable
+            # set -- the sparse exchange can never overflow them.
+            cap_v = (hi - lo) + len(in_bounds[w])
+            packed = (mask_hi - mask_lo + 7) // 8
+            mbox_arrays = {
+                "header": np.zeros(4, dtype=np.int64),
+                "vidx": np.zeros(cap_v, dtype=np.int64),
+                "vvals": np.zeros((cap_v,) + vv.shape[1:], dtype=vv.dtype),
+                "cur": np.zeros(packed, dtype=np.uint8),
+                "chg": np.zeros(packed, dtype=np.uint8),
+            }
+            if es is not None:
+                mbox_arrays["eidx"] = np.zeros(num_edges, dtype=np.int64)
+                mbox_arrays["evals"] = np.zeros(num_edges, dtype=es.dtype)
+            mbox_shm, mbox_toc = _create_segment(mbox_arrays, f"mbox{w}")
+            self._segments.append(mbox_shm)
+            self._mailboxes.append(
+                {
+                    "views": _segment_views(mbox_shm, mbox_toc, writable=True),
+                    "cap_v": cap_v,
+                    "packed": packed,
+                }
+            )
+
+            # In-RAM runs map the per-worker graph segment zero-copy, so
+            # its size *is* the worker's shard footprint; store-backed
+            # workers memmap their owned shards (count math, no faults).
+            graph_bytes = (
+                graph_nbytes
+                if store is None
+                else sum(shard_bytes[i] for i in owned_ids)
+            )
+            self.worker_resident_bytes.append(
+                graph_bytes + state_bytes + mbox_shm.size
+            )
+
+            spec = dict(
+                spec_base,
+                worker_id=w,
+                shards=owned,
+                graph=graph_spec,
+                mailbox=(mbox_shm.name, mbox_toc),
+                mask_range=(mask_lo, mask_hi),
+            )
+            task_q = spawn.SimpleQueue()
+            proc = spawn.Process(
+                target=_worker_main,
+                args=(spec, task_q, self._result_q),
+                name=f"repro-cluster-{w}",
+                daemon=True,
+            )
+            proc.start()
+            self._task_qs.append(task_q)
+            self._procs.append(proc)
+        self._await_ready()
+
+    # ------------------------------------------------------------------
+    def _accumulate_pending(self) -> None:
+        """Diff live state vs the shadow; fold dirty rows into pending.
+
+        An O(n) compare instead of tracking every mutation site: robust
+        to any write path (delta replay, ``frontier.advance``, reseeds,
+        the direction controller's ``activate_all``). The shadow then
+        catches up, so each row is shipped to each worker at most once
+        per change.
+        """
+        t0 = perf_counter()
+        views = self._state_views
+        live = self._compute.vertex_values
+        shadow = views["vertex_values"]
+        dirty = live != shadow
+        if dirty.ndim > 1:
+            dirty = dirty.any(axis=1)
+        if dirty.any():
+            rows = np.flatnonzero(dirty)
+            shadow[rows] = live[rows]
+            for w in range(self.num_workers):
+                readable = self._readable_v[w]
+                self._pending_v[w][rows[readable[rows]]] = True
+        es = self._compute.edge_state
+        if es is not None:
+            e_shadow = views["edge_state"]
+            e_dirty = es != e_shadow
+            if e_dirty.ndim > 1:
+                e_dirty = e_dirty.any(axis=1)
+            if e_dirty.any():
+                eids = np.flatnonzero(e_dirty)
+                e_shadow[eids] = es[eids]
+                for w in range(self.num_workers):
+                    self._pending_e[w][eids] = True
+        self.publish_seconds += perf_counter() - t0
+
+    def _fill_mailbox(self, w: int) -> None:
+        """Pack worker ``w``'s pending rows + fresh bitmaps; bump seq."""
+        mb = self._mailboxes[w]
+        views = mb["views"]
+        pend = self._pending_v[w]
+        rows = np.flatnonzero(pend)
+        k = len(rows)
+        if k:
+            views["vidx"][:k] = rows
+            views["vvals"][:k] = self._compute.vertex_values[rows]
+            pend[:] = False
+        lo, hi = self._mask_range[w]
+        views["cur"][...] = np.packbits(self._frontier.current[lo:hi])
+        views["chg"][...] = np.packbits(self._frontier.changed[lo:hi])
+        m = 0
+        if self._pending_e is not None:
+            pe = self._pending_e[w]
+            eids = np.flatnonzero(pe)
+            m = len(eids)
+            if m:
+                views["eidx"][:m] = eids
+                views["evals"][:m] = self._compute.edge_state[eids]
+                pe[:] = False
+        self._mbox_seq[w] += 1
+        header = views["header"]
+        header[1] = k
+        header[2] = m
+        # The sequence number is written last: a worker acts on the
+        # payload only after seeing the new seq (and only after the
+        # task-queue message that itself follows this write).
+        header[0] = self._mbox_seq[w]
+        self.mailbox_publishes += 1
+        if k >= mb["cap_v"]:
+            self.mailbox_stalls += 1
+        self.boundary_bytes_sent += (
+            k * (8 + self._vrow_bytes) + 2 * mb["packed"] + m * (8 + self._erow_bytes)
+        )
+
+    def phase_run(self, group, shards, iteration: int, count_full: bool):
+        """Mailbox publish + dispatch, one owner at a time.
+
+        Owner ``w``'s tasks are enqueued immediately after its mailbox
+        write, so its compute overlaps the packing of every later
+        owner's deltas; the collector (and with it the deterministic
+        owner-order merge) is identical to the base pool's.
+        """
+        self._accumulate_pending()
+        self._sync_id += 1
+        fr = self._frontier
+        by_worker: dict[int, list] = {}
+        for shard in shards:
+            by_worker.setdefault(self._worker_for(shard.index), []).append(shard)
+        for w in sorted(by_worker):
+            self._fill_mailbox(w)
+            for shard in by_worker[w]:
+                self._task_qs[w].put(
+                    (
+                        _TASK,
+                        self._sync_id,
+                        iteration,
+                        tuple(group.phases),
+                        shard.index,
+                        count_full,
+                        int(fr.active_epochs[shard.index]),
+                        int(fr.changed_epochs[shard.index]),
+                    )
+                )
+        self.tasks += len(shards)
+        self.max_inflight = max(self.max_inflight, len(shards))
+        self._obs.add("procpool.tasks", len(shards))
+        if self._heartbeats is not None:
+            for shard in shards:
+                w = self._worker_for(shard.index)
+                self._outstanding[w] += 1
+                self._heartbeats.busy(f"worker-{w}", True)
+        pending: dict[int, tuple] = {}
+
+        def collect(shard):
+            payload = self._await_result(shard.index, pending)
+            return self._replay(payload)
+
+        return collect
+
+    def _replay(self, payload: tuple) -> WorkItems:
+        for delta in payload[4]:
+            for part in delta[1:]:
+                if isinstance(part, np.ndarray):
+                    self.delta_bytes_merged += part.nbytes
+        return super()._replay(payload)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        snap["backend"] = "cluster"
+        snap["frontier_policy"] = self._policy
+        snap["owned_shards"] = [
+            len(self._ownership.shards_of(w)) for w in range(self.num_workers)
+        ]
+        snap["boundary_in_sizes"] = list(self.boundary_in_sizes)
+        snap["boundary_out_sizes"] = list(self.boundary_out_sizes)
+        snap["worker_resident_bytes"] = list(self.worker_resident_bytes)
+        snap["single_process_bytes"] = self.single_process_bytes
+        snap["boundary_bytes_sent"] = self.boundary_bytes_sent
+        snap["delta_bytes_merged"] = self.delta_bytes_merged
+        snap["mailbox_publishes"] = self.mailbox_publishes
+        snap["mailbox_stalls"] = self.mailbox_stalls
+        return snap

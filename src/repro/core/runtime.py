@@ -127,12 +127,24 @@ class GraphReduceOptions:
     #: ``"processes"`` (a spawn-safe worker pool attaching the shard
     #: arrays zero-copy -- shared memory for in-RAM runs, per-worker
     #: memmaps for shard-store runs -- see :mod:`repro.core.procpool`).
-    #: ``"serial"`` ignores ``parallel_shards`` entirely. Both parallel
+    #: or ``"cluster"`` (partitioned ownership: each worker attaches
+    #: only its owned shard slice and the main process ships sparse
+    #: boundary-vertex deltas through fixed-slot shared-memory
+    #: mailboxes -- per-worker resident bytes scale down with the
+    #: worker count; see :class:`repro.core.procpool.ClusterPool`).
+    #: ``"serial"`` ignores ``parallel_shards`` entirely. All parallel
     #: backends are bit-identical to serial: results, frontier history
     #: and the simulated timeline are merged in fixed shard order. If a
     #: pool worker crashes or times out mid-run the runtime emits a
     #: ``RuntimeWarning`` and transparently re-runs serially.
     parallel_backend: str = "threads"
+    #: Frontier exchange policy for the partitioned-ownership layers
+    #: (the ``cluster`` backend and the multi-device scheduler):
+    #: ``"replicated"`` ships full frontier bitmaps to every owner;
+    #: ``"partitioned"`` ships only each owner's interval slice (or the
+    #: pairwise boundary bits, for devices). Results are bit-identical
+    #: either way; only the modeled/communicated bytes differ.
+    frontier_policy: str = "replicated"
     #: LRU byte budget for the gather/scatter plan cache (counts the
     #: bytes each cached plan references, including dense plans' aliased
     #: shard arrays -- i.e. what eviction can unpin). ``None`` keeps the
@@ -354,16 +366,30 @@ class GraphReduce:
         return False
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _pool_engaged(opts: GraphReduceOptions) -> bool:
+        """Whether this configuration runs through a worker pool.
+
+        The ``processes`` backend needs at least two workers to be
+        worth a pool; ``cluster`` engages from one worker up -- a
+        single-owner cluster still exercises the partitioned-ownership
+        attach and the mailbox exchange, and is the degenerate point of
+        the scaling curve.
+        """
+        if opts.execution_mode != "bsp":
+            return False
+        if opts.parallel_backend == "processes":
+            return opts.parallel_shards > 1
+        if opts.parallel_backend == "cluster":
+            return opts.parallel_shards >= 1
+        return False
+
     def run(self, program: GASProgram, max_iterations: int | None = None) -> GraphReduceResult:
         """Execute ``program`` to convergence on the simulated machine."""
         opts = self.options
-        if opts.parallel_backend not in ("serial", "threads", "processes"):
+        if opts.parallel_backend not in ("serial", "threads", "processes", "cluster"):
             raise ValueError(f"unknown parallel_backend {opts.parallel_backend!r}")
-        if (
-            opts.parallel_backend == "processes"
-            and opts.parallel_shards > 1
-            and opts.execution_mode == "bsp"
-        ):
+        if self._pool_engaged(opts):
             from repro.core.procpool import WorkerCrashed
 
             try:
@@ -372,8 +398,8 @@ class GraphReduce:
                 # The run is deterministic, so a clean serial re-run
                 # produces exactly the result the pool would have.
                 warnings.warn(
-                    f"process-pool backend failed ({exc}); falling back to "
-                    "serial execution",
+                    f"{opts.parallel_backend} pool backend failed ({exc}); "
+                    "falling back to serial execution",
                     RuntimeWarning,
                     stacklevel=2,
                 )
@@ -430,11 +456,7 @@ class GraphReduce:
         with_weights = program.needs_weights
         with_state = program.edge_dtype is not None
         resident_bytes = self._resident_bytes(program, edges.num_vertices)
-        use_pool = (
-            opts.parallel_backend == "processes"
-            and opts.parallel_shards > 1
-            and opts.execution_mode == "bsp"
-        )
+        use_pool = self._pool_engaged(opts)
         if use_pool and not program.process_safe:
             raise ValueError(
                 f"{type(program).__name__} carries mutable per-run Python "
@@ -618,9 +640,16 @@ class GraphReduce:
             else:
                 raise ValueError(f"unknown execution_mode {opts.execution_mode!r}")
             if use_pool:
-                from repro.core.procpool import ProcessPool
+                from repro.core.procpool import ClusterPool, ProcessPool
 
-                pool = ProcessPool(
+                cluster = opts.parallel_backend == "cluster"
+                pool_cls = ProcessPool
+                pool_kwargs = {}
+                if cluster:
+                    pool_cls = ClusterPool
+                    pool_kwargs["frontier_policy"] = opts.frontier_policy
+                pool = pool_cls(
+                    **pool_kwargs,
                     sharded=sharded,
                     program=program,
                     ctx=ctx,
@@ -648,7 +677,7 @@ class GraphReduce:
                 )
                 if telem is not None:
                     telem.add_source(
-                        "procpool",
+                        "cluster" if cluster else "procpool",
                         lambda p=pool: {
                             k: v for k, v in p.snapshot().items() if k != "lane"
                         },

@@ -268,6 +268,106 @@ def _procpool_wallclock_case() -> WallclockCase:
     )
 
 
+def _cluster_wallclock_case() -> WallclockCase:
+    """Partitioned-ownership cluster pool vs the replicated process pool.
+
+    Both sides run the same shard-parallel PageRank; the slow side is
+    the PR-5 process pool (every worker attaches the full shard arrays
+    and the main process republishes full state each phase), the fast
+    side is the cluster backend (each worker holds only its owned shard
+    slice and receives sparse boundary deltas through a fixed-slot
+    mailbox). Results are bit-identical by contract; the floor applies
+    only on multi-core hosts, where skipping the full-state publish is
+    the win being gated.
+
+    ``extra`` gates the memory claim -- the peak per-worker resident
+    footprint must sit measurably below the single-process footprint --
+    and the committed 1->8 multi-device scaling floor: the simulated
+    scheduler is deterministic, so the scaling ratio is machine-
+    independent and gated on every run, including ``--update``.
+    """
+    import os
+
+    from repro.algorithms import PageRank
+    from repro.core.runtime import GraphReduce, GraphReduceOptions
+    from repro.graph.generators import erdos_renyi
+
+    cores = os.cpu_count() or 1
+    workers = 2
+    common = dict(
+        cache_policy="never",
+        num_partitions=8,
+        observe=False,
+        trace=False,
+        dense_fast_path=False,
+        plan_cache=False,
+        parallel_shards=workers,
+    )
+    fast = GraphReduceOptions(**common, parallel_backend="cluster")
+    slow = GraphReduceOptions(**common, parallel_backend="processes")
+    metrics = GraphReduceOptions(
+        cache_policy="never",
+        num_partitions=8,
+        dense_fast_path=False,
+        plan_cache=False,
+        parallel_shards=workers,
+        parallel_backend="cluster",
+    )
+    edges = erdos_renyi(65_536, 1_000_000, seed=7, name="er-wallclock")
+    make_program = lambda: PageRank(tolerance=None, max_iterations=25)
+
+    def extra(metrics_result):
+        pp = metrics_result.procpool or {}
+        resident = pp.get("worker_resident_bytes") or []
+        single = pp.get("single_process_bytes", 0)
+        peak = max(resident) if resident else 0
+        if not single or peak >= 0.7 * single:
+            raise AssertionError(
+                f"cluster peak per-worker resident {peak} B is not below "
+                f"70% of the single-process footprint {single} B"
+            )
+        from repro.core.multigpu import MultiGPUGraphReduce
+
+        mg_opts = GraphReduceOptions(
+            cache_policy="never", num_partitions=8, observe=False, trace=False
+        )
+        one = MultiGPUGraphReduce(edges, num_devices=1, options=mg_opts).run(
+            make_program()
+        )
+        eight = MultiGPUGraphReduce(
+            edges, num_devices=8, options=mg_opts, frontier_policy="partitioned"
+        ).run(make_program())
+        scaling = one.sim_time / eight.sim_time if eight.sim_time else 0.0
+        floor = 2.0  # deterministic sim: machine-independent
+        if scaling < floor:
+            raise AssertionError(
+                f"multi-device 1->8 scaling {scaling:.2f}x fell below the "
+                f"{floor:.2f}x floor"
+            )
+        return {
+            "worker_resident_peak_bytes": int(peak),
+            "single_process_bytes": int(single),
+            "boundary_bytes_sent": int(pp.get("boundary_bytes_sent", 0)),
+            "mailbox_stalls": int(pp.get("mailbox_stalls", 0)),
+            "multigpu_scaling_8": scaling,
+            "multigpu_scaling_floor": floor,
+            "multigpu_replication_bytes_8": int(eight.replication_bytes),
+            "multigpu_p2p_bytes_8": int(eight.p2p_bytes),
+            "multigpu_host_staged_bytes_8": int(eight.host_staged_bytes),
+        }
+
+    return WallclockCase(
+        engines={
+            "fast": GraphReduce(edges, options=fast),
+            "slow": GraphReduce(edges, options=slow),
+        },
+        make_program=make_program,
+        metrics_engine=GraphReduce(edges, options=metrics),
+        min_speedup=0.8 if cores >= 2 else 0.0,
+        extra=extra,
+    )
+
+
 def _wallclock_cases(shard_store=None, memory_budget=None) -> dict[str, Callable]:
     """name -> zero-arg factory returning a :class:`WallclockCase`.
 
@@ -326,6 +426,7 @@ def _wallclock_cases(shard_store=None, memory_budget=None) -> dict[str, Callable
         "batch_bfs_wallclock": _batch_bfs_wallclock_case,
         "batch_pagerank_wallclock": _batch_pagerank_wallclock_case,
         "procpool_pagerank_wallclock": _procpool_wallclock_case,
+        "cluster_pagerank_wallclock": _cluster_wallclock_case,
         "telemetry_pagerank_wallclock": _telemetry_overhead_wallclock_case,
         "numba_pagerank_wallclock": _numba_wallclock_case,
     }

@@ -240,8 +240,14 @@ class ProfileReport:
     plan_cache: dict = field(default_factory=dict)
     #: host shard-prefetch counters of out-of-core runs (repro.core.movement)
     prefetch: dict = field(default_factory=dict)
-    #: process-pool backend counters (repro.core.procpool)
+    #: process-pool backend counters (repro.core.procpool); when the
+    #: run used ``--parallel-backend cluster`` this carries the
+    #: partitioned-ownership counters too (worker_resident_bytes,
+    #: boundary_bytes_sent, mailbox stalls, ...)
     procpool: dict = field(default_factory=dict)
+    #: multi-device scaling projection (``repro profile --devices N``):
+    #: the same run re-executed on the simulated multi-device scheduler
+    devices: dict = field(default_factory=dict)
     #: fused-kernel layer totals (repro.core.kernels): backend name,
     #: fused calls, fallbacks, scratch-arena reuse
     kernels: dict = field(default_factory=dict)
@@ -271,6 +277,7 @@ class ProfileReport:
             "plan_cache": self.plan_cache,
             "prefetch": self.prefetch,
             "procpool": self.procpool,
+            "devices": self.devices,
             "kernels": self.kernels,
             "verdict": self.verdict.to_dict(),
             "model_validation": [c.to_dict() for c in self.validation],
@@ -306,6 +313,8 @@ class ProfileReport:
             self._kernels_line(),
             self._prefetch_line(),
             self._procpool_line(),
+            self._cluster_line(),
+            self._devices_line(),
             "",
             f"bottleneck         : {self.verdict.bottleneck} "
             f"({100 * self.verdict.share:.0f}% of makespan)",
@@ -401,6 +410,39 @@ class ProfileReport:
             f"(max {pp.get('max_inflight', 0)} in flight), "
             f"publish {pp.get('publish_seconds', 0.0):.3f} s, "
             f"wait {pp.get('wait_seconds', 0.0):.3f} s"
+        )
+
+    def _cluster_line(self) -> str:
+        pp = self.procpool
+        if pp.get("backend") != "cluster":
+            return "cluster            : n/a (not the cluster backend)"
+        resident = pp.get("worker_resident_bytes") or []
+        peak = max(resident) if resident else 0
+        single = pp.get("single_process_bytes", 0) or 0
+        frac = f" ({100 * peak / single:.0f}% of single-process)" if single else ""
+        owned = "/".join(str(c) for c in pp.get("owned_shards", []))
+        return (
+            f"cluster            : {pp.get('workers', 0)} owners "
+            f"(shards {owned}), frontier {pp.get('frontier_policy', '?')}, "
+            f"peak resident {peak / 2**20:.2f} MiB{frac}; "
+            f"boundary {pp.get('boundary_bytes_sent', 0) / 2**20:.2f} MiB sent, "
+            f"deltas {pp.get('delta_bytes_merged', 0) / 2**20:.2f} MiB merged, "
+            f"{pp.get('mailbox_stalls', 0)}/{pp.get('mailbox_publishes', 0)} "
+            "mailbox stalls"
+        )
+
+    def _devices_line(self) -> str:
+        d = self.devices
+        if not d:
+            return "devices            : 1 (pass --devices N for a multi-device projection)"
+        return (
+            f"devices            : {d.get('num_devices', 0)} simulated, "
+            f"frontier {d.get('frontier_policy', '?')}, "
+            f"sim {d.get('sim_time', 0.0):.6f} s "
+            f"({d.get('speedup_vs_profiled', 0.0):.2f}x vs profiled run); "
+            f"replication {d.get('replication_bytes', 0) / 2**20:.2f} MiB "
+            f"(peer DMA {d.get('p2p_bytes', 0) / 2**20:.2f}, "
+            f"host-staged {d.get('host_staged_bytes', 0) / 2**20:.2f})"
         )
 
     @property

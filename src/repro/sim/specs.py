@@ -106,11 +106,35 @@ class HostSpec:
 
 
 @dataclass(frozen=True)
+class LinkSpec:
+    """The inter-device fabric of a multi-accelerator node.
+
+    The paper's testbed has one K20c, so this models its natural
+    extension: a PCIe-gen2 switch hierarchy where devices hanging off
+    the same switch can DMA peer-to-peer (one link crossing), while
+    devices on different switches must stage through host memory (two
+    crossings through the root complex).
+    """
+
+    name: str = "PCIe-gen2-switch"
+    #: devices per switch; pairs within the same switch use peer DMA
+    switch_radix: int = 4
+    #: effective peer-to-peer DMA bandwidth, bytes/s (slightly below
+    #: the 6 GB/s link peak; no host staging buffer in the path)
+    p2p_bandwidth: float = 5.0e9
+    #: per-peer-copy setup overhead, seconds (cheaper than a host-staged
+    #: pair of cudaMemcpyAsync calls)
+    p2p_setup: float = 8e-6
+
+
+@dataclass(frozen=True)
 class MachineSpec:
     """One heterogeneous node: host + attached accelerator."""
 
     device: DeviceSpec = field(default_factory=DeviceSpec)
     host: HostSpec = field(default_factory=HostSpec)
+    #: inter-device fabric for multi-accelerator configurations
+    link: LinkSpec = field(default_factory=LinkSpec)
 
     def with_device_memory(self, memory_bytes: int) -> "MachineSpec":
         """A copy of this machine with a different device memory size."""

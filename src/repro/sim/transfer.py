@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.specs import DeviceSpec
+from repro.sim.specs import DeviceSpec, LinkSpec
 
 #: Recognized access patterns.
 PATTERNS = ("sequential", "random")
@@ -113,3 +113,53 @@ class TransferModel:
     def _check(pattern: str) -> None:
         if pattern not in PATTERNS:
             raise ValueError(f"unknown access pattern {pattern!r}")
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Analytic device-to-device transfer timing on a multi-GPU node.
+
+    Two routes, chosen by switch topology (:class:`LinkSpec`):
+
+    * **peer**: both devices hang off the same PCIe switch, so the copy
+      is a single peer DMA -- one link crossing at ``p2p_bandwidth``.
+    * **host-staged**: the devices sit on different switches; the copy
+      bounces through host DRAM as a D2H followed by an H2D, each a
+      full ``cudaMemcpyAsync`` with its own setup and staged-copy rate.
+
+    The multi-device scheduler uses :meth:`peer_capable` to decide how
+    many link crossings each replication pair enqueues on the simulated
+    streams; the analytic times here serve reporting and benchmarks.
+    """
+
+    device: DeviceSpec
+    link: LinkSpec
+
+    def peer_capable(self, a: int, b: int) -> bool:
+        """True when devices ``a`` and ``b`` share a switch (and differ)."""
+        radix = max(self.link.switch_radix, 1)
+        return a != b and a // radix == b // radix
+
+    def peer_time(self, nbytes: int) -> float:
+        """One peer DMA crossing."""
+        return self.link.p2p_setup + nbytes / self.link.p2p_bandwidth
+
+    def staged_time(self, nbytes: int) -> float:
+        """D2H into host DRAM plus H2D out of it."""
+        per_leg = self.device.memcpy_setup + nbytes / self.device.pcie_bandwidth
+        return 2 * per_leg
+
+    def transfer_time(self, a: int, b: int, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` from device ``a`` to device ``b``."""
+        if a == b:
+            return 0.0
+        if self.peer_capable(a, b):
+            return self.peer_time(nbytes)
+        return self.staged_time(nbytes)
+
+    def matrix(self, num_devices: int, nbytes: int) -> list[list[float]]:
+        """All-pairs transfer seconds for a ``num_devices`` node."""
+        return [
+            [self.transfer_time(a, b, nbytes) for b in range(num_devices)]
+            for a in range(num_devices)
+        ]
